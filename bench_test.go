@@ -1,0 +1,433 @@
+package deepmd
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (DESIGN.md carries the full experiment index) plus ablations
+// of the design choices. Benchmarks print their table/figure alongside the
+// usual testing.B metrics; run
+//
+//	go test -bench=. -benchmem
+//
+// or regenerate a single artifact with cmd/dpbench.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/descriptor"
+	"deepmd-go/internal/experiments"
+	"deepmd-go/internal/lattice"
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/tensor"
+)
+
+// benchWaterSetup prepares a small water system with a quick-scale model.
+func benchWaterSetup(b *testing.B) (*core.Model, []float64, []int, *neighbor.List, *neighbor.Box) {
+	b.Helper()
+	cfg := TinyConfig(2)
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+	cfg.Sel = []int{12, 24}
+	model, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cell := lattice.Water(4, 4, 4, lattice.WaterSpacing, 1)
+	spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
+	list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return model, cell.Pos, cell.Types, list, &cell.Box
+}
+
+// BenchmarkTable1_TimeToSolution measures seconds/step/atom for the three
+// execution strategies (the local rows of Table 1).
+func BenchmarkTable1_TimeToSolution(b *testing.B) {
+	model, pos, types, list, box := benchWaterSetup(b)
+	n := len(types)
+	var out core.Result
+	b.Run("baseline", func(b *testing.B) {
+		ev := core.NewBaselineEvaluator(model)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ev.Compute(pos, types, n, list, box, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(n), "s/step/atom")
+	})
+	b.Run("optimized-double", func(b *testing.B) {
+		ev := core.NewEvaluator[float64](model)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ev.Compute(pos, types, n, list, box, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(n), "s/step/atom")
+	})
+	b.Run("optimized-mixed", func(b *testing.B) {
+		ev := core.NewEvaluator[float32](model)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ev.Compute(pos, types, n, list, box, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(n), "s/step/atom")
+	})
+}
+
+// BenchmarkTable3_CustomOps times the baseline and optimized customized
+// operators (Environment / ProdForce / ProdVirial).
+func BenchmarkTable3_CustomOps(b *testing.B) {
+	cfg := TinyConfig(2)
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+	cfg.Sel = []int{12, 24}
+	dcfg := descriptor.Config{Rcut: cfg.Rcut, RcutSmth: cfg.RcutSmth, Sel: cfg.Sel}
+	cell := lattice.Water(5, 5, 5, lattice.WaterSpacing, 1)
+	spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
+	list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sc descriptor.Scratch
+	env, err := sc.Environment(nil, dcfg, cell.Pos, cell.Types, list, &cell.Box)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	nd := make([]float64, env.Nloc*env.Stride*4)
+	for i := range nd {
+		nd[i] = rng.NormFloat64()
+	}
+	force := make([]float64, 3*cell.N())
+
+	b.Run("Environment/baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := descriptor.EnvironmentBaseline(nil, dcfg, cell.Pos, cell.Types, list, &cell.Box); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Environment/optimized", func(b *testing.B) {
+		var s2 descriptor.Scratch
+		for i := 0; i < b.N; i++ {
+			if _, err := s2.Environment(nil, dcfg, cell.Pos, cell.Types, list, &cell.Box); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ProdForce/baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			descriptor.ProdForceBaseline(nil, nd, env, cell.N())
+		}
+	})
+	b.Run("ProdForce/optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clear(force)
+			descriptor.ProdForce(nil, nd, env, force)
+		}
+	})
+	b.Run("ProdVirial/baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			descriptor.ProdVirialBaseline(nil, nd, env)
+		}
+	})
+	b.Run("ProdVirial/optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			descriptor.ProdVirial(nil, nd, env)
+		}
+	})
+}
+
+// BenchmarkFusion_StandardOps times the Sec. 7.1.2 fusions on tall-skinny
+// embedding-shaped matrices.
+func BenchmarkFusion_StandardOps(b *testing.B) {
+	const rows, in, out = 4096, 50, 100
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.NewMatrix[float64](rows, in)
+	w := tensor.NewMatrix[float64](in, out)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	bias := make([]float64, out)
+	dst := tensor.NewMatrix[float64](rows, out)
+	b.Run("MATMUL+SUM/unfused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.BiasAdd(nil, tensor.MatMul(nil, x, w), bias)
+		}
+	})
+	b.Run("MATMUL+SUM/fusedGEMM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.GemmBias(nil, x, w, bias, dst)
+		}
+	})
+	y := tensor.NewMatrix[float64](rows, 2*in)
+	b.Run("CONCAT+SUM/unfused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.Add(nil, tensor.ConcatCols(nil, x), y)
+		}
+	})
+	b.Run("CONCAT+SUM/fusedSkip", func(b *testing.B) {
+		yw := y.Clone()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.AddSkipDouble(nil, x, yw)
+		}
+	})
+	pre := tensor.NewMatrix[float64](rows, out)
+	for i := range pre.Data {
+		pre.Data[i] = rng.NormFloat64()
+	}
+	yv := tensor.NewMatrix[float64](rows, out)
+	gv := tensor.NewMatrix[float64](rows, out)
+	b.Run("TANH+Grad/unfused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := tensor.Tanh(nil, pre)
+			tensor.TanhGrad(nil, t)
+		}
+	})
+	b.Run("TANH+Grad/fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.TanhWithGrad(nil, pre, yv, gv)
+		}
+	})
+}
+
+// BenchmarkMixed_Precision contrasts double vs mixed full evaluations
+// (Sec. 7.1.3: ~1.5x on GPU).
+func BenchmarkMixed_Precision(b *testing.B) {
+	model, pos, types, list, box := benchWaterSetup(b)
+	n := len(types)
+	var out core.Result
+	b.Run("double", func(b *testing.B) {
+		ev := core.NewEvaluator[float64](model)
+		for i := 0; i < b.N; i++ {
+			if err := ev.Compute(pos, types, n, list, box, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mixed", func(b *testing.B) {
+		ev := core.NewEvaluator[float32](model)
+		for i := 0; i < b.N; i++ {
+			if err := ev.Compute(pos, types, n, list, box, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSort contrasts the compressed-u64 radix sort against
+// the AoS struct sort during neighbor formatting (Sec. 5.2.2).
+func BenchmarkAblationSort(b *testing.B) {
+	cell := lattice.Water(5, 5, 5, lattice.WaterSpacing, 4)
+	spec := neighbor.Spec{Rcut: 4.0, Skin: 1.0, Sel: []int{12, 24}}
+	list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("structSort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := neighbor.FormatBaseline(spec, list); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compressedRadix", func(b *testing.B) {
+		var fm neighbor.Formatter
+		for i := 0; i < b.N; i++ {
+			if _, err := fm.Format(spec, list); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationArena contrasts per-step allocation against the
+// init-time arena (Sec. 5.2.2's GPU memory trunk): the baseline evaluator
+// allocates per call, the optimized one reuses slabs. -benchmem shows the
+// allocation counts.
+func BenchmarkAblationArena(b *testing.B) {
+	model, pos, types, list, box := benchWaterSetup(b)
+	n := len(types)
+	var out core.Result
+	b.Run("allocatingBaseline", func(b *testing.B) {
+		ev := core.NewBaselineEvaluator(model)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ev.Compute(pos, types, n, list, box, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("arenaOptimized", func(b *testing.B) {
+		ev := core.NewEvaluator[float64](model)
+		// Warm the arena so the steady state is measured.
+		if err := ev.Compute(pos, types, n, list, box, &out); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ev.Compute(pos, types, n, list, box, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationComm contrasts Allreduce vs Iallreduce thermo output at
+// an artificially high output frequency (Sec. 5.4).
+func BenchmarkAblationComm(b *testing.B) {
+	run := func(b *testing.B, useI bool) {
+		cell := lattice.FCC(3, 3, 3, 4.0)
+		spec := neighbor.Spec{Rcut: 2.5, Skin: 0.3, Sel: []int{64}}
+		for i := 0; i < b.N; i++ {
+			sys := &System{
+				Pos:        append([]float64(nil), cell.Pos...),
+				Types:      cell.Types,
+				MassByType: []float64{63.5},
+				Box:        cell.Box,
+				Vel:        make([]float64, 3*cell.N()),
+			}
+			sys.InitVelocities(300, 3)
+			_, err := RunParallel(sys, func() Potential { return NewLennardJones(0.0103, 2.2, 2.5) }, ParallelOptions{
+				Ranks: 4, Grid: [3]int{2, 2, 1}, Dt: 0.001, Steps: 20, Spec: spec,
+				RebuildEvery: 10, ThermoEvery: 1, UseIallreduce: useI,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Allreduce", func(b *testing.B) { run(b, false) })
+	b.Run("Iallreduce", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkFig5_StrongScalingModel regenerates the Fig. 5 tables (model
+// evaluation is cheap; printed once).
+func BenchmarkFig5_StrongScalingModel(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = experiments.Fig5Table()
+	}
+	if b.N > 0 {
+		b.Logf("\n%s", s)
+	}
+}
+
+// BenchmarkFig6_WeakScalingModel regenerates the Fig. 6 tables.
+func BenchmarkFig6_WeakScalingModel(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = experiments.Fig6Table()
+	}
+	if b.N > 0 {
+		b.Logf("\n%s", s)
+	}
+}
+
+// BenchmarkTable4_ScalingDetail regenerates Table 4.
+func BenchmarkTable4_ScalingDetail(b *testing.B) {
+	var s string
+	for i := 0; i < b.N; i++ {
+		s = experiments.Table4Text()
+	}
+	if b.N > 0 {
+		b.Logf("\n%s", s)
+	}
+}
+
+// BenchmarkFig3_OperatorBreakdown runs the instrumented evaluations behind
+// Fig. 3 once per iteration.
+func BenchmarkFig3_OperatorBreakdown(b *testing.B) {
+	var res *experiments.Fig3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig3(experiments.Quick, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res != nil {
+		b.Logf("\n%s", res)
+	}
+}
+
+// BenchmarkParallelRanks measures the real domain-decomposed step cost at
+// increasing simulated rank counts (communication protocol overhead).
+func BenchmarkParallelRanks(b *testing.B) {
+	cell := lattice.FCC(4, 4, 4, 4.05)
+	spec := neighbor.Spec{Rcut: 4.0, Skin: 1.0, Sel: []int{40}}
+	cfg := TinyConfig(1)
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 1.0, 1.0
+	cfg.Sel = []int{40}
+	model, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ranks := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := &System{
+					Pos:        append([]float64(nil), cell.Pos...),
+					Types:      cell.Types,
+					MassByType: []float64{63.5},
+					Box:        cell.Box,
+					Vel:        make([]float64, 3*cell.N()),
+				}
+				sys.InitVelocities(300, 3)
+				if _, err := RunParallel(sys, func() Potential { return core.NewEvaluator[float64](model) }, ParallelOptions{
+					Ranks: ranks, Dt: 0.001, Steps: 10, Spec: spec,
+					RebuildEvery: 5, ThermoEvery: 10,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSetup_Strategies measures the Sec. 7.3 setup contrast.
+func BenchmarkSetup_Strategies(b *testing.B) {
+	var txt string
+	for i := 0; i < b.N; i++ {
+		var err error
+		txt, _, err = experiments.SetupText(experiments.Quick, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("\n%s", txt)
+}
+
+// BenchmarkGEMM measures the raw kernel on a fitting-net-shaped matrix.
+func BenchmarkGEMM(b *testing.B) {
+	for _, shape := range [][3]int{{256, 64, 96}, {1024, 50, 100}} {
+		m, k, n := shape[0], shape[1], shape[2]
+		b.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x := tensor.NewMatrix[float64](m, k)
+			w := tensor.NewMatrix[float64](k, n)
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64()
+			}
+			for i := range w.Data {
+				w.Data[i] = rng.NormFloat64()
+			}
+			c := tensor.NewMatrix[float64](m, n)
+			b.SetBytes(int64(8 * (m*k + k*n + m*n)))
+			for i := 0; i < b.N; i++ {
+				tensor.Gemm(nil, 1, x, w, 0, c)
+			}
+			flops := 2 * float64(m) * float64(k) * float64(n)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}

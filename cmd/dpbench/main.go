@@ -1,0 +1,157 @@
+// Command dpbench regenerates the tables and figures of the paper's
+// evaluation section (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|all
+//	        [-full] [-ranks N]
+//
+// By default experiments run at Quick scale (seconds on one CPU core);
+// -full uses the paper's network geometry and larger systems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deepmd-go/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, all")
+	full := flag.Bool("full", false, "use paper-scale networks and larger systems (slow on CPU)")
+	ranks := flag.Int("ranks", 4, "simulated ranks for setup/scaling experiments")
+	flag.Parse()
+
+	sc := experiments.Quick
+	if *full {
+		sc = experiments.Full
+	}
+
+	run := map[string]func() error{
+		"table1": func() error {
+			res, err := experiments.Table1(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		},
+		"table3": func() error {
+			nx, reps := 5, 5
+			if *full {
+				nx, reps = 8, 3
+			}
+			res, err := experiments.Table3(sc, nx, reps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			st, rx, err := experiments.AblationSort(sc, nx, reps)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Ablation (Sec 5.2.2): struct sort %.2f ms vs compressed radix %.2f ms (%.1fx)\n\n",
+				st.Seconds()*1000, rx.Seconds()*1000, float64(st)/float64(rx))
+			return nil
+		},
+		"fusion": func() error {
+			fmt.Println(experiments.Fusion(sc, 5))
+			return nil
+		},
+		"fig3": func() error {
+			res, err := experiments.Fig3(sc, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		},
+		"fig4": func() error {
+			res, err := experiments.Fig4(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		},
+		"fig5": func() error {
+			fmt.Println(experiments.Fig5Table())
+			return nil
+		},
+		"fig6": func() error {
+			fmt.Println(experiments.Fig6Table())
+			return nil
+		},
+		"table4": func() error {
+			fmt.Println(experiments.Table4Text())
+			return nil
+		},
+		"fig7": func() error {
+			res, err := experiments.Fig7(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		},
+		"mixed": func() error {
+			res, err := experiments.Mixed(sc, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		},
+		"single": func() error {
+			res, err := experiments.Single(sc, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		},
+		"setup": func() error {
+			txt, _, err := experiments.SetupText(sc, *ranks)
+			if err != nil {
+				return err
+			}
+			fmt.Println(txt)
+			return nil
+		},
+		"scaling": func() error {
+			counts := []int{1, 2, 4}
+			if *ranks > 4 {
+				counts = append(counts, *ranks)
+			}
+			res, err := experiments.LocalScaling(sc, 20, counts)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		},
+	}
+	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
+
+	var names []string
+	if *exp == "all" {
+		names = order
+	} else {
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		f, ok := run[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dpbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

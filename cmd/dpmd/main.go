@@ -1,0 +1,170 @@
+// Command dpmd runs Deep Potential molecular dynamics, the role the
+// LAMMPS + DeePMD-kit pair plays in the paper.
+//
+// Usage examples:
+//
+//	dpmd -system water -nx 4 -steps 500 -precision double
+//	dpmd -system copper -nx 4 -steps 200 -precision mixed -ranks 4
+//	dpmd -system water -model water.dp -dump traj.xyz
+//
+// Without -model, a freshly initialized model with the system's default
+// geometry (scaled to -netscale) is used: fine for performance runs, not
+// for physics. With -ranks > 1 the run is domain decomposed over simulated
+// MPI ranks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/md"
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/units"
+
+	deepmd "deepmd-go"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dpmd: ")
+
+	system := flag.String("system", "water", "water | copper | nanocu")
+	nx := flag.Int("nx", 4, "supercell edge (molecules for water, cells for copper)")
+	boxL := flag.Float64("boxl", 40, "nanocrystal box edge in Angstrom (nanocu)")
+	grains := flag.Int("grains", 4, "nanocrystal grain count (nanocu)")
+	steps := flag.Int("steps", 500, "MD steps")
+	precision := flag.String("precision", "double", "double | mixed | baseline")
+	netscale := flag.String("netscale", "tiny", "tiny | paper network geometry (ignored with -model)")
+	modelPath := flag.String("model", "", "load a trained model file instead of random weights")
+	ranks := flag.Int("ranks", 1, "simulated MPI ranks (domain decomposition)")
+	tempK := flag.Float64("temp", 330, "initial temperature (K)")
+	seed := flag.Int64("seed", 1, "random seed")
+	dump := flag.String("dump", "", "write final configuration as XYZ")
+	flag.Parse()
+
+	var sys *deepmd.System
+	var cfg core.Config
+	dt := 0.0005
+	switch *system {
+	case "water":
+		sys = deepmd.BuildWater(*nx, *nx, *nx, *seed)
+		cfg = waterCfg(*netscale)
+	case "copper":
+		sys = deepmd.BuildCopper(*nx, *nx, *nx)
+		cfg = copperCfg(*netscale)
+		dt = 0.001
+	case "nanocu":
+		sys = deepmd.BuildNanocrystal(*boxL, *grains, *seed)
+		cfg = copperCfg(*netscale)
+		dt = 0.0005
+	default:
+		log.Fatalf("unknown system %q", *system)
+	}
+
+	var model *core.Model
+	var err error
+	if *modelPath != "" {
+		model, err = core.LoadFile(*modelPath)
+	} else {
+		cfg.Seed = *seed
+		model, err = core.New(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcfg := model.Cfg
+	spec := neighbor.Spec{Rcut: mcfg.Rcut, Skin: mcfg.Skin, Sel: mcfg.Sel}
+
+	newPot := func() md.Potential {
+		switch *precision {
+		case "mixed":
+			return core.NewEvaluator[float32](model)
+		case "baseline":
+			return core.NewBaselineEvaluator(model)
+		default:
+			return core.NewEvaluator[float64](model)
+		}
+	}
+
+	sys.InitVelocities(*tempK, *seed+1)
+	fmt.Printf("system %s: %d atoms, box %.1f x %.1f x %.1f A, dt %.1f fs, %s precision, %d rank(s)\n",
+		*system, sys.N(), sys.Box.L[0], sys.Box.L[1], sys.Box.L[2], dt*1000, *precision, *ranks)
+
+	if *ranks > 1 {
+		stats, err := deepmd.RunParallel(sys, newPot, deepmd.ParallelOptions{
+			Ranks: *ranks, Dt: dt, Steps: *steps, Spec: spec,
+			RebuildEvery: 50, ThermoEvery: 20, UseIallreduce: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, th := range stats.Thermo {
+			printThermo(th)
+		}
+		perStep := stats.LoopTime.Seconds() / float64(*steps)
+		fmt.Printf("MD loop %.2f s | %.1f ms/step | %.3g s/step/atom | %d msgs, %d bytes\n",
+			stats.LoopTime.Seconds(), perStep*1000, perStep/float64(sys.N()), stats.Messages, stats.Bytes)
+		return
+	}
+
+	sim, err := deepmd.NewSimulation(sys, newPot(), deepmd.SimOptions{
+		Dt: dt, Spec: spec, RebuildEvery: 50, ThermoEvery: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.Run(*steps); err != nil {
+		log.Fatal(err)
+	}
+	for _, th := range sim.Log {
+		printThermo(th)
+	}
+	loop := sim.Timer.Elapsed("md_loop")
+	perStep := loop.Seconds() / float64(*steps)
+	fmt.Printf("MD loop %.2f s | %.1f ms/step | %.3g s/step/atom\n",
+		loop.Seconds(), perStep*1000, perStep/float64(sys.N()))
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := md.WriteXYZ(f, sys, mcfg.TypeNames, fmt.Sprintf("step=%d", *steps)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dump)
+	}
+}
+
+func printThermo(th deepmd.Thermo) {
+	fmt.Printf("step %6d  T %7.1f K  PE %12.4f eV  KE %10.4f eV  P %10.1f bar\n",
+		th.Step, th.Temperature, th.Potential, th.Kinetic, th.Pressure)
+}
+
+func waterCfg(scale string) core.Config {
+	if scale == "paper" {
+		return core.WaterConfig()
+	}
+	cfg := core.TinyConfig(2)
+	cfg.TypeNames = []string{"O", "H"}
+	cfg.Masses = []float64{units.MassO, units.MassH}
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+	cfg.Sel = []int{12, 24}
+	return cfg
+}
+
+func copperCfg(scale string) core.Config {
+	if scale == "paper" {
+		return core.CopperConfig()
+	}
+	cfg := core.TinyConfig(1)
+	cfg.TypeNames = []string{"Cu"}
+	cfg.Masses = []float64{units.MassCu}
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 5.0, 2.0, 1.0
+	cfg.Sel = []int{80}
+	return cfg
+}

@@ -1,0 +1,242 @@
+// Package deepmd is a pure-Go reproduction of the optimized DeePMD-kit of
+// "Pushing the limit of molecular dynamics with ab initio accuracy to 100
+// million atoms with machine learning" (SC '20): Deep Potential molecular
+// dynamics with the paper's data-layout, operator-fusion, mixed-precision
+// and parallelization optimizations, plus everything needed to regenerate
+// its evaluation — system builders, an MD engine, a message-passing
+// runtime, training against analytic "ab initio" oracles, analysis
+// (RDF/CNA) and a calibrated Summit performance model.
+//
+// This package is the facade: it re-exports the stable surface of the
+// internal packages. Quick start:
+//
+//	cfg := deepmd.TinyConfig(2)
+//	model, _ := deepmd.NewModel(cfg)
+//	ev := deepmd.NewDoubleEvaluator(model)      // or NewMixedEvaluator
+//	sys := deepmd.BuildWater(4, 4, 4, 1)        // 64 molecules
+//	sim, _ := deepmd.NewSimulation(&md.System{...}, ev, deepmd.SimOptions{...})
+//	sim.Run(500)
+//
+// See examples/ for complete programs and DESIGN.md / EXPERIMENTS.md for
+// the experiment-by-experiment reproduction map.
+package deepmd
+
+import (
+	"deepmd-go/internal/analysis"
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/domain"
+	"deepmd-go/internal/lattice"
+	"deepmd-go/internal/md"
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/perfmodel"
+	"deepmd-go/internal/refpot"
+	"deepmd-go/internal/train"
+	"deepmd-go/internal/units"
+)
+
+// Model configuration and construction.
+
+// Config describes a Deep Potential model (cutoffs, sel, network widths).
+type Config = core.Config
+
+// Model holds the trained (or initialized) Deep Potential networks.
+type Model = core.Model
+
+// Result is one potential evaluation: energy, atomic energies, forces and
+// the virial tensor.
+type Result = core.Result
+
+// NewModel constructs a model with freshly initialized weights.
+func NewModel(cfg Config) (*Model, error) { return core.New(cfg) }
+
+// LoadModel reads a model file written by Model.SaveFile.
+func LoadModel(path string) (*Model, error) { return core.LoadFile(path) }
+
+// WaterConfig is the paper's liquid-water model geometry (Sec. 6.1).
+func WaterConfig() Config { return core.WaterConfig() }
+
+// CopperConfig is the paper's copper model geometry (Sec. 6.1).
+func CopperConfig() Config { return core.CopperConfig() }
+
+// TinyConfig is a scaled-down model for experiments on small machines.
+func TinyConfig(ntypes int) Config { return core.TinyConfig(ntypes) }
+
+// Evaluators: the optimized pipeline in both precisions plus the 2018
+// baseline execution strategy.
+
+// Potential is anything that can compute energies and forces for the MD
+// engine: DP evaluators, the baseline evaluator, and the reference
+// potentials all implement it.
+type Potential = md.Potential
+
+// NewDoubleEvaluator runs the optimized pipeline in double precision.
+func NewDoubleEvaluator(m *Model) *core.Evaluator[float64] {
+	return core.NewEvaluator[float64](m)
+}
+
+// NewMixedEvaluator runs the optimized pipeline with single-precision
+// network math between double-precision boundaries (Sec. 5.2.3).
+func NewMixedEvaluator(m *Model) *core.Evaluator[float32] {
+	return core.NewEvaluator[float32](m)
+}
+
+// NewBaselineEvaluator runs the 2018 serial DeePMD-kit execution strategy
+// (unfused ops, AoS neighbor handling, per-call allocation).
+func NewBaselineEvaluator(m *Model) *core.BaselineEvaluator {
+	return core.NewBaselineEvaluator(m)
+}
+
+// MD engine.
+
+// System is the mutable atomic state of a simulation.
+type System = md.System
+
+// SimOptions configures a serial simulation.
+type SimOptions = md.Options
+
+// Simulation drives one serial MD run.
+type Simulation = md.Sim
+
+// Thermo is one thermodynamic sample.
+type Thermo = md.Thermo
+
+// Thermostats: Berendsen (weak coupling), Rescale (hard), Langevin
+// (stochastic, canonical-ensemble fluctuations).
+type (
+	Berendsen = md.Berendsen
+	Rescale   = md.Rescale
+	Langevin  = md.Langevin
+)
+
+// NewSimulation validates options and prepares a serial simulation.
+func NewSimulation(sys *System, pot Potential, opt SimOptions) (*Simulation, error) {
+	return md.NewSim(sys, pot, opt)
+}
+
+// NeighborSpec describes cutoff and skin requirements; SpecFor derives it
+// from a model config.
+type NeighborSpec = neighbor.Spec
+
+// SpecFor returns the neighbor requirements of a model configuration.
+func SpecFor(cfg Config) NeighborSpec {
+	return neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
+}
+
+// Box is an orthorhombic periodic box.
+type Box = neighbor.Box
+
+// NeighborList is a raw neighbor list consumed by Potential.Compute.
+type NeighborList = neighbor.List
+
+// BuildNeighborList constructs the periodic neighbor list of a system.
+func BuildNeighborList(sys *System, spec NeighborSpec) (*NeighborList, error) {
+	return neighbor.Build(spec, sys.Pos, sys.Types, sys.N(), &sys.Box)
+}
+
+// Parallel (domain-decomposed) runs.
+
+// ParallelOptions configures a domain-decomposed run over simulated ranks.
+type ParallelOptions = domain.Options
+
+// ParallelStats is the result of a parallel run.
+type ParallelStats = domain.Stats
+
+// RunParallel executes a domain-decomposed simulation (Sec. 5.4).
+func RunParallel(sys *System, newPot func() Potential, opt ParallelOptions) (*ParallelStats, error) {
+	return domain.Run(sys, newPot, opt)
+}
+
+// System builders.
+
+// BuildWater places nx x ny x nz water molecules at liquid density with
+// randomized orientations, returning a System with O/H types and masses.
+func BuildWater(nx, ny, nz int, seed int64) *System {
+	cell := lattice.Water(nx, ny, nz, lattice.WaterSpacing, seed)
+	return &System{
+		Pos:        cell.Pos,
+		Types:      cell.Types,
+		MassByType: []float64{units.MassO, units.MassH},
+		Box:        cell.Box,
+		Vel:        make([]float64, 3*cell.N()),
+	}
+}
+
+// BuildCopper builds an FCC copper supercell (4*nx*ny*nz atoms).
+func BuildCopper(nx, ny, nz int) *System {
+	cell := lattice.FCC(nx, ny, nz, lattice.CuLatticeConst)
+	return &System{
+		Pos:        cell.Pos,
+		Types:      cell.Types,
+		MassByType: []float64{units.MassCu},
+		Box:        cell.Box,
+		Vel:        make([]float64, 3*cell.N()),
+	}
+}
+
+// BuildNanocrystal builds a Schiotz-style nanocrystalline copper sample:
+// ngrains randomly oriented Voronoi grains in a cubic box of edge l
+// Angstrom (Fig. 7(a)).
+func BuildNanocrystal(l float64, ngrains int, seed int64) *System {
+	cell := lattice.Nanocrystal(l, ngrains, lattice.CuLatticeConst, 2.2, seed)
+	return &System{
+		Pos:        cell.Pos,
+		Types:      cell.Types,
+		MassByType: []float64{units.MassCu},
+		Box:        cell.Box,
+		Vel:        make([]float64, 3*cell.N()),
+	}
+}
+
+// Reference potentials ("ab initio" oracles and EFF baselines).
+
+// NewSuttonChenCu returns the Sutton-Chen EAM copper potential.
+func NewSuttonChenCu() Potential { return refpot.NewSuttonChenCu() }
+
+// NewToyWater returns the flexible three-site water oracle.
+func NewToyWater() Potential { return refpot.NewToyWater() }
+
+// NewLennardJones returns a single-species truncated-shifted LJ potential.
+func NewLennardJones(eps, sigma, rcut float64) Potential {
+	return refpot.NewLennardJones(eps, sigma, rcut)
+}
+
+// Training.
+
+// Frame is one labeled training configuration.
+type Frame = train.Frame
+
+// TrainConfig sets optimizer hyper-parameters.
+type TrainConfig = train.Config
+
+// Trainer minimizes the per-atom energy loss over a dataset.
+type Trainer = train.Trainer
+
+// NewTrainer prepares a trainer for the model.
+func NewTrainer(model *Model, cfg TrainConfig) (*Trainer, error) {
+	return train.NewTrainer(model, cfg)
+}
+
+// Analysis.
+
+// RDF accumulates a radial distribution function.
+type RDF = analysis.RDF
+
+// NewRDF prepares a g_AB(r) accumulator.
+func NewRDF(typeA, typeB int, rmax float64, bins int) *RDF {
+	return analysis.NewRDF(typeA, typeB, rmax, bins)
+}
+
+// CNA classifies atoms into fcc/hcp/other (Fig. 7).
+func CNA(pos []float64, types []int, box *Box, rcut float64) ([]analysis.Structure, error) {
+	return analysis.CNA(pos, types, box, rcut)
+}
+
+// Performance model.
+
+// Summit returns the paper's machine description.
+func Summit() perfmodel.Machine { return perfmodel.Summit() }
+
+// WaterPerfModel and CopperPerfModel return the calibrated per-system
+// Summit performance models used for Figs. 5-6 and Tables 1/4.
+func WaterPerfModel() perfmodel.SystemModel  { return perfmodel.WaterModel() }
+func CopperPerfModel() perfmodel.SystemModel { return perfmodel.CopperModel() }

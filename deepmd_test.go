@@ -1,0 +1,121 @@
+package deepmd
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade must expose a complete, working workflow end to end.
+func TestFacadeWorkflow(t *testing.T) {
+	cfg := TinyConfig(2)
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+	cfg.Sel = []int{12, 24}
+	model, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := BuildWater(4, 4, 4, 1)
+	if sys.N() != 192 {
+		t.Fatalf("water atoms = %d", sys.N())
+	}
+	sys.InitVelocities(300, 2)
+
+	sim, err := NewSimulation(sys, NewDoubleEvaluator(model), SimOptions{
+		Dt: 0.0005, Spec: SpecFor(cfg), RebuildEvery: 20, ThermoEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Log) != 2 {
+		t.Fatalf("thermo samples = %d", len(sim.Log))
+	}
+
+	// Mixed evaluator agrees with double on the same configuration.
+	list, err := BuildNeighborList(sys, SpecFor(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd, rm Result
+	if err := NewDoubleEvaluator(model).Compute(sys.Pos, sys.Types, sys.N(), list, &sys.Box, &rd); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewMixedEvaluator(model).Compute(sys.Pos, sys.Types, sys.N(), list, &sys.Box, &rm); err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(rd.Energy - rm.Energy); d > 1e-3*float64(sys.N()) {
+		t.Fatalf("precision disagreement %g", d)
+	}
+}
+
+func TestFacadeBuilders(t *testing.T) {
+	cu := BuildCopper(3, 3, 3)
+	if cu.N() != 108 {
+		t.Fatalf("copper atoms = %d", cu.N())
+	}
+	if cu.MassByType[0] < 63 || cu.MassByType[0] > 64 {
+		t.Fatalf("copper mass %g", cu.MassByType[0])
+	}
+	nano := BuildNanocrystal(22, 2, 7)
+	if nano.N() < 300 {
+		t.Fatalf("nanocrystal too small: %d", nano.N())
+	}
+	cls, err := CNA(nano.Pos, nano.Types, &nano.Box, 3.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls) != nano.N() {
+		t.Fatalf("CNA classified %d of %d", len(cls), nano.N())
+	}
+}
+
+func TestFacadeParallelRun(t *testing.T) {
+	sys := BuildCopper(3, 3, 3)
+	sys.InitVelocities(200, 4)
+	lj := func() Potential { return NewLennardJones(0.01, 2.3, 2.6) }
+	stats, err := RunParallel(sys, lj, ParallelOptions{
+		Ranks: 2, Dt: 0.001, Steps: 10, Spec: NeighborSpec{Rcut: 2.6, Skin: 0.4, Sel: []int{64}},
+		RebuildEvery: 5, ThermoEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Thermo) != 2 {
+		t.Fatalf("thermo samples = %d", len(stats.Thermo))
+	}
+	total := 0
+	for _, n := range stats.AtomsPerRank {
+		total += n
+	}
+	if total != sys.N() {
+		t.Fatalf("atoms %d, want %d", total, sys.N())
+	}
+}
+
+func TestFacadePerfModels(t *testing.T) {
+	m := Summit()
+	if m.Nodes != 4608 || m.GPUsPerNode != 6 {
+		t.Fatalf("Summit description wrong: %+v", m)
+	}
+	w := WaterPerfModel()
+	c := CopperPerfModel()
+	if c.FLOPsPerAtom <= w.FLOPsPerAtom {
+		t.Fatal("copper should cost more per atom than water")
+	}
+}
+
+func TestFacadeTrainer(t *testing.T) {
+	cfg := TinyConfig(1)
+	cfg.Rcut, cfg.RcutSmth = 3.0, 1.0
+	model, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(model, TrainConfig{LR: 1e-3, BatchSize: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr // construction path; full training covered in internal/train
+}

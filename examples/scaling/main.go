@@ -1,0 +1,35 @@
+// Scaling: the Figs. 5-6 / Table 4 view — real domain-decomposed runs on
+// simulated ranks (communication protocol costs are real) plus the
+// calibrated Summit performance model projecting the paper's full-machine
+// curves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"deepmd-go/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	ranks := flag.Int("ranks", 8, "largest simulated rank count for the local run")
+	flag.Parse()
+
+	counts := []int{1, 2, 4}
+	if *ranks > 4 {
+		counts = append(counts, *ranks)
+	}
+	fmt.Println("== real domain-decomposed runs (simulated ranks on this host) ==")
+	local, err := experiments.LocalScaling(experiments.Quick, 20, counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(local)
+
+	fmt.Println("== Summit projections from the calibrated performance model ==")
+	fmt.Println(experiments.Fig5Table())
+	fmt.Println(experiments.Fig6Table())
+	fmt.Println(experiments.Table4Text())
+}

@@ -1,0 +1,39 @@
+package analysis
+
+// MSD accumulates the mean squared displacement of a trajectory relative
+// to a reference snapshot; its slope gives the self-diffusion coefficient
+// D = MSD/(6t), one of the observables large-scale DeePMD water studies
+// report. Positions must be unwrapped (or sampled between wraps).
+type MSD struct {
+	ref   []float64
+	Times []float64
+	Value []float64
+}
+
+// NewMSD snapshots the reference configuration.
+func NewMSD(pos []float64) *MSD {
+	m := &MSD{ref: make([]float64, len(pos))}
+	copy(m.ref, pos)
+	return m
+}
+
+// Accumulate records the MSD at time t (ps).
+func (m *MSD) Accumulate(t float64, pos []float64) {
+	n := len(m.ref) / 3
+	var sum float64
+	for i := 0; i < len(m.ref); i++ {
+		d := pos[i] - m.ref[i]
+		sum += d * d
+	}
+	m.Times = append(m.Times, t)
+	m.Value = append(m.Value, sum/float64(n))
+}
+
+// Diffusion estimates D in A^2/ps from the last sample (MSD/(6t)).
+func (m *MSD) Diffusion() float64 {
+	if len(m.Times) == 0 || m.Times[len(m.Times)-1] == 0 {
+		return 0
+	}
+	last := len(m.Times) - 1
+	return m.Value[last] / (6 * m.Times[last])
+}

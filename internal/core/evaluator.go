@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"deepmd-go/internal/descriptor"
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/nn"
+	"deepmd-go/internal/perf"
+	"deepmd-go/internal/tensor"
+)
+
+// Result holds one potential evaluation. Force has 3*nall entries: forces
+// on ghost atoms are accumulated too and must be reverse-communicated by
+// the caller in domain-decomposed runs (Sec. 5.4).
+type Result struct {
+	Energy     float64
+	AtomEnergy []float64
+	Force      []float64
+	Virial     [9]float64
+}
+
+// Evaluator executes the optimized Deep Potential pipeline in precision T:
+// float64 for the double-precision model, float32 for the mixed-precision
+// model (network math in single precision between the double-precision
+// Environment and ProdForce boundaries, Sec. 5.2.3).
+type Evaluator[T tensor.Float] struct {
+	cfg   Config
+	dcfg  descriptor.Config
+	embed [][]*nn.Net[T]
+	fit   []*nn.Net[T]
+
+	// Counter receives FLOPs and per-category operator times; nil is
+	// allowed.
+	Counter *perf.Counter
+
+	sc     descriptor.Scratch
+	grads  *ModelGrads
+	arenas []*tensor.Arena[T]
+	rT     []T
+	ndT    []T
+	nd64   []float64
+	byType [][]int
+}
+
+// NewEvaluator builds an evaluator for the model in precision T, converting
+// the master weights once at construction.
+func NewEvaluator[T tensor.Float](m *Model) *Evaluator[T] {
+	cfg := m.Cfg
+	nt := cfg.NumTypes()
+	ev := &Evaluator[T]{
+		cfg: cfg,
+		dcfg: descriptor.Config{
+			Rcut:     cfg.Rcut,
+			RcutSmth: cfg.RcutSmth,
+			Sel:      cfg.Sel,
+		},
+		embed:  make([][]*nn.Net[T], nt),
+		fit:    make([]*nn.Net[T], nt),
+		byType: make([][]int, nt),
+	}
+	for ci := 0; ci < nt; ci++ {
+		ev.embed[ci] = make([]*nn.Net[T], nt)
+		for tj := 0; tj < nt; tj++ {
+			ev.embed[ci][tj] = shareOrConvert[T](m.Embed[ci][tj])
+		}
+		ev.fit[ci] = shareOrConvert[T](m.Fit[ci])
+	}
+	for w := 0; w < max(1, cfg.Workers); w++ {
+		ev.arenas = append(ev.arenas, tensor.NewArena[T](1<<14))
+	}
+	return ev
+}
+
+// ArenaBytes reports the total arena slab size; the mixed-precision
+// evaluator's is about half the double one's (Sec. 7.1.3).
+func (ev *Evaluator[T]) ArenaBytes() int {
+	total := 0
+	for _, a := range ev.arenas {
+		total += a.Bytes()
+	}
+	return total
+}
+
+// Compute evaluates energy, forces and virial. pos holds 3*nall positions
+// (locals first, then ghosts), types their types, nloc the number of local
+// atoms owned by this rank, list the raw neighbor list built at the last
+// rebuild, and box the periodic box (nil in domain-decomposed mode where
+// ghosts carry the periodic images). The result buffers are reused if
+// adequately sized.
+func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neighbor.List, box *neighbor.Box, out *Result) error {
+	ctr := ev.Counter
+	nall := len(pos) / 3
+	env, err := ev.sc.Environment(ctr, ev.dcfg, pos, types, list, box)
+	if err != nil {
+		return err
+	}
+	stride := ev.cfg.Stride()
+
+	ev.rT = descriptor.ConvertR(ctr, env, ev.rT)
+	ev.ndT = resizeT(ev.ndT, nloc*stride*4)
+	clear(ev.ndT)
+
+	// Group local atoms by type.
+	for t := range ev.byType {
+		ev.byType[t] = ev.byType[t][:0]
+	}
+	for i := 0; i < nloc; i++ {
+		t := types[i]
+		if t < 0 || t >= len(ev.byType) {
+			return fmt.Errorf("core: atom %d has type %d outside model", i, t)
+		}
+		ev.byType[t] = append(ev.byType[t], i)
+	}
+
+	out.AtomEnergy = resizeF(out.AtomEnergy, nloc)
+	out.Force = resizeF(out.Force, 3*nall)
+	clear(out.Force)
+
+	// Assemble chunk jobs.
+	type job struct {
+		ci    int
+		atoms []int
+	}
+	var jobs []job
+	for ci, atoms := range ev.byType {
+		for lo := 0; lo < len(atoms); lo += ev.cfg.ChunkSize {
+			hi := min(lo+ev.cfg.ChunkSize, len(atoms))
+			jobs = append(jobs, job{ci, atoms[lo:hi]})
+		}
+	}
+	chunkE := make([]float64, len(jobs))
+
+	workers := min(len(ev.arenas), len(jobs))
+	if workers <= 1 {
+		for ji, j := range jobs {
+			chunkE[ji] = ev.evalChunk(ctr, ev.arenas[0], env, j.ci, j.atoms, out.AtomEnergy)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int, len(jobs))
+		for ji := range jobs {
+			next <- ji
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(ar *tensor.Arena[T]) {
+				defer wg.Done()
+				for ji := range next {
+					chunkE[ji] = ev.evalChunk(ctr, ar, env, jobs[ji].ci, jobs[ji].atoms, out.AtomEnergy)
+				}
+			}(ev.arenas[w])
+		}
+		wg.Wait()
+	}
+
+	// Deterministic energy reduction in double precision.
+	out.Energy = 0
+	for _, e := range chunkE {
+		out.Energy += e
+	}
+
+	// Convert the network gradient back to double precision and run the
+	// customized force/virial operators.
+	ev.nd64 = resizeF(ev.nd64, len(ev.ndT))
+	for i, v := range ev.ndT {
+		ev.nd64[i] = float64(v)
+	}
+	descriptor.ProdForce(ctr, ev.nd64, env, out.Force)
+	out.Virial = descriptor.ProdVirial(ctr, ev.nd64, env)
+	repulsionEnergy(ctr, ev.cfg.RepA, ev.cfg.RepRcut, pos, nloc, list, box, out)
+	ev.growArenas()
+	return nil
+}
+
+// evalChunk runs embedding, descriptor, fitting and their backward passes
+// for one chunk of same-type atoms, returning the chunk energy in double
+// precision and filling atomEnergy and ev.ndT rows for those atoms.
+func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
+	defer ar.Reset()
+	cfg := &ev.cfg
+	stride := cfg.Stride()
+	m := cfg.M()
+	ax := cfg.MAxis
+	dim := cfg.DescriptorDim()
+	nA := len(atoms)
+	fmtd := env.Fmt
+	invN := T(1.0 / float64(stride))
+
+	// Embedding forward per neighbor-type section.
+	nt := cfg.NumTypes()
+	traces := make([]*nn.Trace[T], nt)
+	for tj := 0; tj < nt; tj++ {
+		sel := cfg.Sel[tj]
+		off := fmtd.SelOff[tj]
+		sIn := ar.TakeMatrix(nA*sel, 1)
+		for a, atom := range atoms {
+			base := (atom*stride + off) * 4
+			for k := 0; k < sel; k++ {
+				sIn.Data[a*sel+k] = ev.rT[base+k*4]
+			}
+		}
+		traces[tj] = ev.embed[ci][tj].Forward(ctr, ar, sIn, true)
+	}
+
+	// Per-atom descriptor contraction T_i = G^T R~ / N and
+	// D_i = T_i (T_i[:ax])^T.
+	dChunk := ar.TakeMatrix(nA, dim)
+	tis := make([]tensor.Matrix[T], nA)
+	for a, atom := range atoms {
+		ti := ar.TakeMatrix(m, 4)
+		for tj := 0; tj < nt; tj++ {
+			sel := cfg.Sel[tj]
+			off := fmtd.SelOff[tj]
+			g := traces[tj].Out()
+			gA := tensor.MatrixFrom(sel, m, g.Data[a*sel*m:(a+1)*sel*m])
+			rA := tensor.MatrixFrom(sel, 4, ev.rT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
+			tensor.GemmTN(ctr, invN, gA, rA, 1, ti)
+		}
+		tis[a] = ti
+		tsub := tensor.MatrixFrom(ax, 4, ti.Data[:ax*4])
+		di := tensor.MatrixFrom(m, ax, dChunk.Data[a*dim:(a+1)*dim])
+		tensor.GemmNT(ctr, 1, ti, tsub, 0, di)
+	}
+
+	// Fitting net forward/backward over the chunk batch.
+	fitTr := ev.fit[ci].Forward(ctr, ar, dChunk, true)
+	eOut := fitTr.Out()
+	var chunkE float64
+	for a, atom := range atoms {
+		e := float64(eOut.Data[a])
+		atomEnergy[atom] = e
+		chunkE += e
+	}
+	ones := ar.TakeMatrix(nA, 1)
+	for i := range ones.Data {
+		ones.Data[i] = 1
+	}
+	_, fitGr := ev.gradsFor(ci, 0)
+	dD := ev.fit[ci].Backward(ctr, ar, fitTr, ones, fitGr)
+
+	// Per-atom backward through the descriptor contraction.
+	dGsec := make([]tensor.Matrix[T], nt)
+	for tj := 0; tj < nt; tj++ {
+		dGsec[tj] = ar.TakeMatrix(nA*cfg.Sel[tj], m)
+	}
+	for a, atom := range atoms {
+		ti := tis[a]
+		tsub := tensor.MatrixFrom(ax, 4, ti.Data[:ax*4])
+		dDa := tensor.MatrixFrom(m, ax, dD.Data[a*dim:(a+1)*dim])
+		dT := ar.TakeMatrix(m, 4)
+		tensor.Gemm(ctr, 1, dDa, tsub, 0, dT)
+		dTsub := ar.TakeMatrix(ax, 4)
+		tensor.GemmTN(ctr, 1, dDa, ti, 0, dTsub)
+		for i := range dTsub.Data {
+			dT.Data[i] += dTsub.Data[i]
+		}
+		for tj := 0; tj < nt; tj++ {
+			sel := cfg.Sel[tj]
+			off := fmtd.SelOff[tj]
+			g := traces[tj].Out()
+			gA := tensor.MatrixFrom(sel, m, g.Data[a*sel*m:(a+1)*sel*m])
+			rA := tensor.MatrixFrom(sel, 4, ev.rT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
+			dgA := tensor.MatrixFrom(sel, m, dGsec[tj].Data[a*sel*m:(a+1)*sel*m])
+			tensor.GemmNT(ctr, invN, rA, dT, 0, dgA)
+			ndA := tensor.MatrixFrom(sel, 4, ev.ndT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
+			tensor.Gemm(ctr, invN, gA, dT, 1, ndA)
+		}
+	}
+
+	// Embedding backward: ds feeds the s-column of the network gradient.
+	for tj := 0; tj < nt; tj++ {
+		sel := cfg.Sel[tj]
+		off := fmtd.SelOff[tj]
+		embGr, _ := ev.gradsFor(ci, tj)
+		ds := ev.embed[ci][tj].Backward(ctr, ar, traces[tj], dGsec[tj], embGr)
+		for a, atom := range atoms {
+			base := (atom*stride + off) * 4
+			for k := 0; k < sel; k++ {
+				ev.ndT[base+k*4] += ds.Data[a*sel+k]
+			}
+		}
+	}
+	return chunkE
+}
+
+// growArenas resizes any arena whose last evaluation overflowed, so the
+// next step runs allocation-free (the paper's init-time GPU memory trunk).
+func (ev *Evaluator[T]) growArenas() {
+	for i, a := range ev.arenas {
+		if p := a.MaxPeak(); p > a.Cap() {
+			ev.arenas[i] = tensor.NewArena[T](p + p/4)
+		}
+	}
+}
+
+// shareOrConvert aliases the master float64 network when T is float64 (so
+// the trainer's weight updates are visible without re-deriving the
+// evaluator) and converts to float32 otherwise.
+func shareOrConvert[T tensor.Float](n *nn.Net[float64]) *nn.Net[T] {
+	if same, ok := any(n).(*nn.Net[T]); ok {
+		return same
+	}
+	return nn.ConvertNet[T](n)
+}
+
+func resizeF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeT[T tensor.Float](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"deepmd-go/internal/nn"
+)
+
+// The model file is a gob stream: a header with the Config, followed by
+// every network in deterministic order (embedding nets row-major by
+// (center, neighbor) type, then fitting nets by type). Weights are always
+// stored in double precision; the mixed-precision evaluator converts at
+// load time (Sec. 5.2.3).
+
+// Save writes the model to w.
+func (m *Model) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(m.Cfg); err != nil {
+		return fmt.Errorf("core: encoding config: %w", err)
+	}
+	for _, net := range m.Nets() {
+		if err := nn.Save(w, net); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	// The stream holds several sequential gob streams (one per network).
+	// Each decoder must not read past its own messages, which requires the
+	// reader to implement io.ByteReader; wrap it once if it does not.
+	type byteReader interface {
+		io.Reader
+		io.ByteReader
+	}
+	if _, ok := r.(byteReader); !ok {
+		r = bufio.NewReader(r)
+	}
+	dec := gob.NewDecoder(r)
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("core: decoding config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nt := cfg.NumTypes()
+	m := &Model{Cfg: cfg, Embed: make([][]*nn.Net[float64], nt), Fit: make([]*nn.Net[float64], nt)}
+	for ci := 0; ci < nt; ci++ {
+		m.Embed[ci] = make([]*nn.Net[float64], nt)
+		for tj := 0; tj < nt; tj++ {
+			net, err := nn.Load(r)
+			if err != nil {
+				return nil, fmt.Errorf("core: loading embedding net (%d,%d): %w", ci, tj, err)
+			}
+			m.Embed[ci][tj] = net
+		}
+	}
+	for ci := 0; ci < nt; ci++ {
+		net, err := nn.Load(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading fitting net %d: %w", ci, err)
+		}
+		m.Fit[ci] = net
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := m.Save(w); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,291 @@
+package descriptor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepmd-go/internal/neighbor"
+)
+
+func TestSmoothRegions(t *testing.T) {
+	const rmin, rmax = 2.0, 6.0
+	// Below rmin: exactly 1/r.
+	s, ds := Smooth(1.5, rmin, rmax)
+	if math.Abs(s-1/1.5) > 1e-15 || math.Abs(ds+1/(1.5*1.5)) > 1e-15 {
+		t.Fatalf("inner region: s=%g ds=%g", s, ds)
+	}
+	// At and beyond rmax: zero.
+	for _, r := range []float64{6.0, 7.5, 100} {
+		if s, ds := Smooth(r, rmin, rmax); s != 0 || ds != 0 {
+			t.Fatalf("outer region r=%g: s=%g ds=%g", r, s, ds)
+		}
+	}
+	// Non-positive r is guarded.
+	if s, _ := Smooth(0, rmin, rmax); s != 0 {
+		t.Fatal("r=0 must give 0")
+	}
+}
+
+func TestSmoothContinuity(t *testing.T) {
+	const rmin, rmax = 2.0, 6.0
+	const h = 1e-9
+	// C0 and C1 continuity at both region boundaries.
+	for _, r := range []float64{rmin, rmax} {
+		sm, _ := Smooth(r-h, rmin, rmax)
+		sp, _ := Smooth(r+h, rmin, rmax)
+		if math.Abs(sm-sp) > 1e-7 {
+			t.Fatalf("s discontinuous at %g: %g vs %g", r, sm, sp)
+		}
+		_, dm := Smooth(r-h, rmin, rmax)
+		_, dp := Smooth(r+h, rmin, rmax)
+		if math.Abs(dm-dp) > 1e-6 {
+			t.Fatalf("ds discontinuous at %g: %g vs %g", r, dm, dp)
+		}
+	}
+}
+
+func TestSmoothDerivativeFiniteDiff(t *testing.T) {
+	const rmin, rmax = 2.0, 6.0
+	const h = 1e-6
+	for r := 0.5; r < 6.5; r += 0.0913 {
+		if math.Abs(r-rmin) < 2*h || math.Abs(r-rmax) < 2*h {
+			continue
+		}
+		sp, _ := Smooth(r+h, rmin, rmax)
+		sm, _ := Smooth(r-h, rmin, rmax)
+		want := (sp - sm) / (2 * h)
+		_, ds := Smooth(r, rmin, rmax)
+		if math.Abs(ds-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("ds(%g) = %g, finite diff %g", r, ds, want)
+		}
+	}
+}
+
+// buildTestSystem places n atoms randomly in a box and returns a raw
+// neighbor list.
+func buildTestSystem(t *testing.T, seed int64, n int, cfg Config, box *neighbor.Box) ([]float64, []int, *neighbor.List) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]float64, 3*n)
+	types := make([]int, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			pos[3*i+k] = rng.Float64() * box.L[k]
+		}
+		types[i] = rng.Intn(len(cfg.Sel))
+	}
+	list, err := neighbor.Build(neighbor.Spec{Rcut: cfg.Rcut, Skin: 1.0, Sel: cfg.Sel}, pos, types, n, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pos, types, list
+}
+
+var testCfg = Config{Rcut: 4.0, RcutSmth: 3.0, Sel: []int{24, 24}}
+
+// The optimized Environment operator must reproduce the baseline exactly.
+func TestEnvironmentMatchesBaseline(t *testing.T) {
+	box := &neighbor.Box{L: [3]float64{14, 14, 14}}
+	pos, types, list := buildTestSystem(t, 1, 120, testCfg, box)
+	var sc Scratch
+	opt, err := sc.Environment(nil, testCfg, pos, types, list, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := EnvironmentBaseline(nil, testCfg, pos, types, list, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range opt.R {
+		if opt.R[i] != base.R[i] {
+			t.Fatalf("R[%d]: optimized %g, baseline %g", i, opt.R[i], base.R[i])
+		}
+	}
+	for i := range opt.DR {
+		if opt.DR[i] != base.DR[i] {
+			t.Fatalf("DR[%d]: optimized %g, baseline %g", i, opt.DR[i], base.DR[i])
+		}
+	}
+	for i := range opt.Fmt.Idx {
+		if opt.Fmt.Idx[i] != base.Fmt.Idx[i] {
+			t.Fatalf("Idx[%d]: optimized %d, baseline %d", i, opt.Fmt.Idx[i], base.Fmt.Idx[i])
+		}
+	}
+}
+
+// Hand-checked environment row for a two-atom system.
+func TestEnvironmentRowValues(t *testing.T) {
+	cfg := Config{Rcut: 4.0, RcutSmth: 3.0, Sel: []int{4}}
+	pos := []float64{0, 0, 0, 2, 0, 0} // neighbor at distance 2 along x
+	types := []int{0, 0}
+	list, err := neighbor.Build(neighbor.Spec{Rcut: cfg.Rcut, Sel: cfg.Sel}, pos, types, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc Scratch
+	env, err := sc.Environment(nil, cfg, pos, types, list, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Atom 0, slot 0: s = 1/2 (inside RcutSmth), row = (1/2, 1/4*2, 0, 0).
+	r := env.R[:4]
+	want := []float64{0.5, 0.5, 0, 0}
+	for c := range want {
+		if math.Abs(r[c]-want[c]) > 1e-15 {
+			t.Fatalf("R[0][%d] = %g, want %g", c, r[c], want[c])
+		}
+	}
+	// Atom 1 sees the displacement reversed.
+	r1 := env.R[env.Stride*4 : env.Stride*4+4]
+	want1 := []float64{0.5, -0.5, 0, 0}
+	for c := range want1 {
+		if math.Abs(r1[c]-want1[c]) > 1e-15 {
+			t.Fatalf("R[1][%d] = %g, want %g", c, r1[c], want1[c])
+		}
+	}
+	// Padding slots must be zero.
+	for c := 4; c < 16; c++ {
+		if env.R[c] != 0 {
+			t.Fatalf("padding slot not zero at %d", c)
+		}
+	}
+}
+
+// DR must be the true derivative of R with respect to atom positions.
+func TestEnvironmentDerivativeFiniteDiff(t *testing.T) {
+	box := &neighbor.Box{L: [3]float64{14, 14, 14}}
+	pos, types, list := buildTestSystem(t, 2, 40, testCfg, box)
+	var sc Scratch
+	env, err := sc.Environment(nil, testCfg, pos, types, list, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot because scratch is reused.
+	R0 := append([]float64(nil), env.R...)
+	DR0 := append([]float64(nil), env.DR...)
+	idx := append([]int32(nil), env.Fmt.Idx...)
+	stride := env.Stride
+
+	const h = 1e-7
+	// Perturb the position of neighbor atoms and check dR/dd against DR.
+	// Moving atom j changes d = r_j - r_i by the same amount, so
+	// dR[i,k,c]/dpos_j,a = DR[i,k,c,a] for the slot holding j.
+	for i := 0; i < 8; i++ { // sample of center atoms
+		for k := 0; k < stride; k++ {
+			j32 := idx[i*stride+k]
+			if j32 < 0 {
+				continue
+			}
+			j := int(j32)
+			if j == i {
+				continue
+			}
+			for a := 0; a < 3; a++ {
+				orig := pos[3*j+a]
+				pos[3*j+a] = orig + h
+				var sc2 Scratch
+				envP, err := sc2.Environment(nil, testCfg, pos, types, list, box)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The slot ordering can in principle change under
+				// perturbation; skip those rare cases.
+				if envP.Fmt.Idx[i*stride+k] != j32 {
+					pos[3*j+a] = orig
+					continue
+				}
+				for c := 0; c < 4; c++ {
+					fd := (envP.R[(i*stride+k)*4+c] - R0[(i*stride+k)*4+c]) / h
+					an := DR0[(i*stride+k)*12+c*3+a]
+					if math.Abs(fd-an) > 1e-5*(1+math.Abs(an)) {
+						t.Fatalf("atom %d slot %d comp %d dir %d: analytic %g, finite diff %g", i, k, c, a, an, fd)
+					}
+				}
+				pos[3*j+a] = orig
+			}
+		}
+	}
+}
+
+// Newton's third law: with any net gradient, ProdForce must produce zero
+// total force when every pair is seen from both sides, and the optimized
+// and baseline operators must agree exactly.
+func TestProdForceMatchesBaselineAndConserves(t *testing.T) {
+	box := &neighbor.Box{L: [3]float64{14, 14, 14}}
+	pos, types, list := buildTestSystem(t, 3, 80, testCfg, box)
+	var sc Scratch
+	env, err := sc.Environment(nil, testCfg, pos, types, list, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	nd := make([]float64, env.Nloc*env.Stride*4)
+	for i := range nd {
+		nd[i] = rng.NormFloat64()
+	}
+	force := make([]float64, 3*80)
+	ProdForce(nil, nd, env, force)
+	base := ProdForceBaseline(nil, nd, env, 80)
+	for i := range force {
+		if math.Abs(force[i]-base[i]) > 1e-12 {
+			t.Fatalf("force[%d]: optimized %g, baseline %g", i, force[i], base[i])
+		}
+	}
+}
+
+func TestProdVirialMatchesBaseline(t *testing.T) {
+	box := &neighbor.Box{L: [3]float64{14, 14, 14}}
+	pos, types, list := buildTestSystem(t, 5, 80, testCfg, box)
+	var sc Scratch
+	env, err := sc.Environment(nil, testCfg, pos, types, list, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	nd := make([]float64, env.Nloc*env.Stride*4)
+	for i := range nd {
+		nd[i] = rng.NormFloat64()
+	}
+	w := ProdVirial(nil, nd, env)
+	wb := ProdVirialBaseline(nil, nd, env)
+	for i := range w {
+		if math.Abs(w[i]-wb[i]) > 1e-10 {
+			t.Fatalf("virial[%d]: optimized %g, baseline %g", i, w[i], wb[i])
+		}
+	}
+}
+
+// Environment with the scratch reused across calls must give the same
+// answer as a fresh scratch (buffer reuse must not leak state).
+func TestScratchReuse(t *testing.T) {
+	box := &neighbor.Box{L: [3]float64{14, 14, 14}}
+	pos, types, list := buildTestSystem(t, 7, 60, testCfg, box)
+	var sc Scratch
+	if _, err := sc.Environment(nil, testCfg, pos, types, list, box); err != nil {
+		t.Fatal(err)
+	}
+	// Move an atom a little and re-evaluate with the same scratch.
+	pos[0] += 0.05
+	again, err := sc.Environment(nil, testCfg, pos, types, list, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := EnvironmentBaseline(nil, testCfg, pos, types, list, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again.R {
+		if again.R[i] != fresh.R[i] {
+			t.Fatalf("scratch reuse diverged at R[%d]", i)
+		}
+	}
+}
+
+func TestConvertR(t *testing.T) {
+	env := &EnvOut{R: []float64{1.5, -2.25, 0.125}}
+	dst := ConvertR[float32](nil, env, nil)
+	if len(dst) != 3 || dst[0] != 1.5 || dst[1] != -2.25 || dst[2] != 0.125 {
+		t.Fatalf("ConvertR = %v", dst)
+	}
+}

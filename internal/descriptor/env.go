@@ -1,0 +1,262 @@
+package descriptor
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/perf"
+	"deepmd-go/internal/tensor"
+)
+
+// EnvOut is the output of the Environment operator for one evaluation:
+// everything downstream of it (embedding, descriptor, fitting) only needs
+// R; ProdForce and ProdVirial additionally need DR and Rij. All fields are
+// double precision — the paper's mixed-precision model converts R to
+// float32 only after this operator (Sec. 5.2.3).
+type EnvOut struct {
+	Nloc   int
+	Stride int
+	// Fmt is the current-step formatted neighbor table (sorted by type
+	// then by *current* distance, padded with -1).
+	Fmt *neighbor.Formatted
+	// R is the environment matrix R~: Nloc x Stride x 4, rows
+	// (s, s*dx/r, s*dy/r, s*dz/r); zero rows for padding slots.
+	R []float64
+	// DR is dR~/dd: Nloc x Stride x 4 x 3, the derivative of each R~
+	// component with respect to the displacement d = r_j - r_i.
+	DR []float64
+	// Rij is the displacement d for each slot: Nloc x Stride x 3.
+	Rij []float64
+}
+
+// Scratch holds the reusable state of the optimized operators, mirroring
+// the "allocate a trunk of GPU memory at the initialization stage and
+// re-use it throughout the MD simulation" strategy of Sec. 5.2.2.
+type Scratch struct {
+	fm   neighbor.Formatter
+	rows [][]neighbor.Entry
+	out  EnvOut
+}
+
+// Environment is the optimized customized operator: it recomputes
+// current-step distances from the raw (rebuild-time) list, formats the
+// neighbors with the compressed 64-bit radix sort, and fills the
+// environment matrix with a branch-free loop over the fixed-stride table.
+// The returned EnvOut aliases Scratch buffers and is valid until the next
+// call.
+func (sc *Scratch) Environment(ctr *perf.Counter, cfg Config, pos []float64, types []int, list *neighbor.List, box *neighbor.Box) (*EnvOut, error) {
+	start := time.Now()
+	nloc := list.Nloc
+	stride := cfg.Stride()
+
+	// Refresh distances and re-sort: the raw list holds rebuild-time
+	// distances, but padding overflow must keep the *currently* nearest
+	// neighbors (Sec. 5.2.1).
+	upd := neighbor.List{Nloc: nloc, Entries: sc.entriesFor(nloc)}
+	var flops int64
+	for i, nbrs := range list.Entries {
+		row := upd.Entries[i][:0]
+		for _, e := range nbrs {
+			d := disp(pos, i, e.Index, box)
+			r := vecNorm(d)
+			row = append(row, neighbor.Entry{Type: e.Type, Dist: r, Index: e.Index})
+		}
+		upd.Entries[i] = row
+		flops += int64(len(nbrs)) * 9
+	}
+	fmtd, err := sc.fm.Format(neighbor.Spec{Rcut: cfg.Rcut, Sel: cfg.Sel}, &upd)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &sc.out
+	out.Nloc, out.Stride, out.Fmt = nloc, stride, fmtd
+	out.R = resize(out.R, nloc*stride*4)
+	out.DR = resize(out.DR, nloc*stride*12)
+	out.Rij = resize(out.Rij, nloc*stride*3)
+	clear(out.R)
+	clear(out.DR)
+	clear(out.Rij)
+
+	for i := 0; i < nloc; i++ {
+		rowIdx := fmtd.Idx[i*stride : (i+1)*stride]
+		fillEnvRow(cfg, pos, i, rowIdx, box,
+			out.R[i*stride*4:(i+1)*stride*4],
+			out.DR[i*stride*12:(i+1)*stride*12],
+			out.Rij[i*stride*3:(i+1)*stride*3])
+	}
+	flops += int64(nloc) * int64(stride) * envFLOPsPerSlot
+	ctr.Observe(perf.CatCUSTOM, start, flops)
+	return out, nil
+}
+
+// EnvironmentBaseline is the baseline operator of Table 3: a comparison
+// sort over AoS records, fresh allocations on every call, and the same
+// mathematical output. Intended for benchmarking and cross-validation.
+func EnvironmentBaseline(ctr *perf.Counter, cfg Config, pos []float64, types []int, list *neighbor.List, box *neighbor.Box) (*EnvOut, error) {
+	start := time.Now()
+	nloc := list.Nloc
+	stride := cfg.Stride()
+
+	upd := neighbor.List{Nloc: nloc, Entries: make([][]neighbor.Entry, nloc)}
+	for i, nbrs := range list.Entries {
+		row := make([]neighbor.Entry, 0, len(nbrs))
+		for _, e := range nbrs {
+			d := disp(pos, i, e.Index, box)
+			row = append(row, neighbor.Entry{Type: e.Type, Dist: vecNorm(d), Index: e.Index})
+		}
+		upd.Entries[i] = row
+	}
+	fmtd, err := neighbor.FormatBaseline(neighbor.Spec{Rcut: cfg.Rcut, Sel: cfg.Sel}, &upd)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &EnvOut{
+		Nloc: nloc, Stride: stride, Fmt: fmtd,
+		R:   make([]float64, nloc*stride*4),
+		DR:  make([]float64, nloc*stride*12),
+		Rij: make([]float64, nloc*stride*3),
+	}
+	// The baseline walks the *raw* AoS entries and branches on the type of
+	// every neighbor to locate its slot, the access pattern Sec. 5.2.1
+	// calls out.
+	for i := 0; i < nloc; i++ {
+		fill := make([]int, len(cfg.Sel))
+		ent := append([]neighbor.Entry(nil), upd.Entries[i]...)
+		sort.Slice(ent, func(a, b int) bool {
+			if ent[a].Type != ent[b].Type {
+				return ent[a].Type < ent[b].Type
+			}
+			if ent[a].Dist != ent[b].Dist {
+				return ent[a].Dist < ent[b].Dist
+			}
+			return ent[a].Index < ent[b].Index
+		})
+		for _, e := range ent {
+			var k int
+			switch { // explicit per-type branching
+			case e.Type == 0:
+				k = fill[0]
+			default:
+				k = fmtd.SelOff[e.Type] + fill[e.Type]
+			}
+			if fill[e.Type] >= cfg.Sel[e.Type] {
+				continue
+			}
+			fill[e.Type]++
+			slot := make([]float64, 4)   // per-neighbor temporary (AoS style)
+			dslot := make([]float64, 12) // allocated afresh each neighbor
+			rij := make([]float64, 3)    //
+			fillEnvSlot(cfg, pos, i, e.Index, box, slot, dslot, rij)
+			copy(out.R[(i*stride+k)*4:], slot)
+			copy(out.DR[(i*stride+k)*12:], dslot)
+			copy(out.Rij[(i*stride+k)*3:], rij)
+		}
+	}
+	ctr.Observe(perf.CatCUSTOM, start, int64(nloc)*int64(stride)*envFLOPsPerSlot)
+	return out, nil
+}
+
+// envFLOPsPerSlot is the analytic FLOP charge per neighbor slot of the
+// environment computation (distance, switching function, 4 matrix entries
+// and their 12 derivatives).
+const envFLOPsPerSlot = 45
+
+// fillEnvRow computes R~, dR~/dd and rij for one atom over its formatted
+// slot row, branch-free: padding slots (-1) are the only conditional and
+// they leave zeros behind.
+func fillEnvRow(cfg Config, pos []float64, i int, rowIdx []int32, box *neighbor.Box, r, dr, rij []float64) {
+	for k, j32 := range rowIdx {
+		if j32 < 0 {
+			continue
+		}
+		fillEnvSlot(cfg, pos, i, int(j32), box, r[k*4:k*4+4], dr[k*12:k*12+12], rij[k*3:k*3+3])
+	}
+}
+
+// fillEnvSlot computes one slot's environment row and derivative.
+//
+// With d = r_j - r_i, r = |d|, s = Smooth(r) and q = s/r:
+//
+//	R~ = (s, q*dx, q*dy, q*dz)
+//	dR~[0]/dd_a   = s'(r) * d_a / r
+//	dR~[b]/dd_a   = q*delta(ab) + d_b * (s'/r - s/r^2) * d_a / r
+func fillEnvSlot(cfg Config, pos []float64, i, j int, box *neighbor.Box, r, dr, rij []float64) {
+	d := disp(pos, i, j, box)
+	rr := vecNorm(d)
+	if rr >= cfg.Rcut || rr == 0 {
+		return // moved outside the cutoff since the last rebuild
+	}
+	s, ds := Smooth(rr, cfg.RcutSmth, cfg.Rcut)
+	inv := 1 / rr
+	q := s * inv
+	dq := ds*inv - s*inv*inv // dq/dr
+
+	r[0] = s
+	r[1] = q * d[0]
+	r[2] = q * d[1]
+	r[3] = q * d[2]
+	rij[0], rij[1], rij[2] = d[0], d[1], d[2]
+
+	for a := 0; a < 3; a++ {
+		ra := d[a] * inv // unit vector component
+		dr[a] = ds * ra  // dR~[0]/dd_a
+		for b := 0; b < 3; b++ {
+			v := d[b] * dq * ra
+			if a == b {
+				v += q
+			}
+			dr[(b+1)*3+a] = v
+		}
+	}
+}
+
+// entriesFor returns nloc per-atom entry slices, reusing the capacity of
+// previous calls so the steady state allocates nothing.
+func (sc *Scratch) entriesFor(nloc int) [][]neighbor.Entry {
+	for len(sc.rows) < nloc {
+		sc.rows = append(sc.rows, nil)
+	}
+	return sc.rows[:nloc]
+}
+
+func disp(pos []float64, i, j int, box *neighbor.Box) [3]float64 {
+	d := [3]float64{
+		pos[3*j] - pos[3*i],
+		pos[3*j+1] - pos[3*i+1],
+		pos[3*j+2] - pos[3*i+2],
+	}
+	if box != nil {
+		box.MinImage(&d)
+	}
+	return d
+}
+
+func vecNorm(d [3]float64) float64 {
+	return math.Sqrt(d[0]*d[0] + d[1]*d[1] + d[2]*d[2])
+}
+
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// ConvertR copies the environment matrix into the network precision; this
+// is the double -> single boundary of the mixed-precision model.
+func ConvertR[T tensor.Float](ctr *perf.Counter, env *EnvOut, dst []T) []T {
+	start := time.Now()
+	if cap(dst) < len(env.R) {
+		dst = make([]T, len(env.R))
+	}
+	dst = dst[:len(env.R)]
+	for i, v := range env.R {
+		dst[i] = T(v)
+	}
+	ctr.AddTime(perf.CatSLICE, time.Since(start))
+	return dst
+}

@@ -1,0 +1,108 @@
+// Package domain implements the paper's parallelization layer (Fig. 1(a),
+// Sec. 5.4): a 3-D spatial decomposition of the periodic box across ranks,
+// LAMMPS-style staged ghost exchange (x, then y, then z so corners arrive
+// transitively), per-step forward position refresh of recorded ghosts,
+// reverse communication of ghost forces (the DP force decomposition makes
+// every rank compute partial forces on its ghosts), atom migration at
+// neighbor-list rebuilds, and global thermodynamic reductions with either
+// blocking Allreduce or the paper's Iallreduce optimization.
+package domain
+
+import (
+	"fmt"
+	"math"
+)
+
+// BestGrid factorizes p ranks into a 3-D process grid that minimizes the
+// total communication surface for a box with edge lengths l.
+func BestGrid(p int, l [3]float64) [3]int {
+	best := [3]int{p, 1, 1}
+	bestSurf := math.Inf(1)
+	for px := 1; px <= p; px++ {
+		if p%px != 0 {
+			continue
+		}
+		for py := 1; py <= p/px; py++ {
+			if (p/px)%py != 0 {
+				continue
+			}
+			pz := p / px / py
+			sx := l[0] / float64(px)
+			sy := l[1] / float64(py)
+			sz := l[2] / float64(pz)
+			surf := sx*sy + sy*sz + sz*sx
+			if surf < bestSurf {
+				bestSurf = surf
+				best = [3]int{px, py, pz}
+			}
+		}
+	}
+	return best
+}
+
+// coordOf maps a rank id to its grid coordinate (x-major).
+func coordOf(rank int, grid [3]int) [3]int {
+	return [3]int{
+		rank / (grid[1] * grid[2]),
+		(rank / grid[2]) % grid[1],
+		rank % grid[2],
+	}
+}
+
+// rankOf maps a grid coordinate (wrapped periodically) to a rank id.
+func rankOf(c [3]int, grid [3]int) int {
+	x := ((c[0] % grid[0]) + grid[0]) % grid[0]
+	y := ((c[1] % grid[1]) + grid[1]) % grid[1]
+	z := ((c[2] % grid[2]) + grid[2]) % grid[2]
+	return (x*grid[1]+y)*grid[2] + z
+}
+
+// subBox returns the owned region [lo, hi) of a coordinate.
+func subBox(c [3]int, grid [3]int, l [3]float64) (lo, hi [3]float64) {
+	for k := 0; k < 3; k++ {
+		w := l[k] / float64(grid[k])
+		lo[k] = float64(c[k]) * w
+		hi[k] = lo[k] + w
+		if c[k] == grid[k]-1 {
+			hi[k] = l[k] // absorb rounding at the top edge
+		}
+	}
+	return lo, hi
+}
+
+// ownerOf returns the rank owning position p (assumed wrapped into the
+// box).
+func ownerOf(p [3]float64, grid [3]int, l [3]float64) int {
+	var c [3]int
+	for k := 0; k < 3; k++ {
+		w := l[k] / float64(grid[k])
+		ci := int(p[k] / w)
+		if ci >= grid[k] {
+			ci = grid[k] - 1
+		}
+		if ci < 0 {
+			ci = 0
+		}
+		c[k] = ci
+	}
+	return rankOf(c, grid)
+}
+
+// validateGrid checks the decomposition supports single-hop ghost exchange
+// with the given cutoff: every sub-domain extent must cover the ghost
+// width, and the global box must satisfy the minimum-image requirement.
+func validateGrid(grid [3]int, l [3]float64, cut float64) error {
+	for k := 0; k < 3; k++ {
+		if grid[k] < 1 {
+			return fmt.Errorf("domain: grid[%d] = %d", k, grid[k])
+		}
+		if l[k]/float64(grid[k]) < cut {
+			return fmt.Errorf("domain: sub-box extent %.3f along %d smaller than ghost width %.3f; use fewer ranks",
+				l[k]/float64(grid[k]), k, cut)
+		}
+		if l[k] < 2*cut {
+			return fmt.Errorf("domain: box edge %d (%.3f) < 2*ghost width (%.3f)", k, l[k], 2*cut)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package domain
+
+import (
+	"deepmd-go/internal/mpi"
+	"deepmd-go/internal/neighbor"
+)
+
+// Message tags for the exchange protocols.
+const (
+	tagMigrate = 100
+	tagBorder  = 200 // +stage offset
+	tagForward = 300 // +stage offset
+	tagReverse = 400 // +stage offset
+	tagThermo  = 500
+	tagGather  = 600
+)
+
+// rankState is one rank's atom storage: locals in [0, nloc), ghosts in
+// [nloc, len(typ)).
+type rankState struct {
+	comm  *mpi.Comm
+	grid  [3]int
+	coord [3]int
+	lo    [3]float64
+	hi    [3]float64
+	gbox  neighbor.Box
+	cut   float64 // ghost width: rcut + skin
+
+	pos  []float64
+	vel  []float64
+	typ  []int
+	gid  []int64
+	nloc int
+
+	plan []stagePlan
+}
+
+// stagePlan records one direction of one staged border exchange so the
+// same ghosts can be refreshed every step and their forces returned.
+type stagePlan struct {
+	dim, dir          int
+	sendTo, recvFrom  int
+	sendIdx           []int32
+	shift             float64
+	recvBase, recvCnt int
+}
+
+// atomBundle is the payload for migration and border sends.
+type atomBundle struct {
+	Pos []float64
+	Vel []float64 // empty for border sends
+	Typ []int
+	Gid []int64
+}
+
+// nall returns locals + ghosts.
+func (rs *rankState) nall() int { return len(rs.typ) }
+
+// dropGhosts truncates the arrays to locals only.
+func (rs *rankState) dropGhosts() {
+	rs.pos = rs.pos[:3*rs.nloc]
+	rs.typ = rs.typ[:rs.nloc]
+	rs.gid = rs.gid[:rs.nloc]
+	rs.plan = rs.plan[:0]
+}
+
+// migrate reassigns atoms that left the owned sub-box. Positions must be
+// wrapped into the global box beforehand.
+func (rs *rankState) migrate() {
+	p := rs.comm.Size()
+	if p == 1 {
+		return
+	}
+	out := make([]atomBundle, p)
+	keepPos := rs.pos[:0]
+	keepVel := rs.vel[:0]
+	keepTyp := rs.typ[:0]
+	keepGid := rs.gid[:0]
+	for i := 0; i < rs.nloc; i++ {
+		pt := [3]float64{rs.pos[3*i], rs.pos[3*i+1], rs.pos[3*i+2]}
+		owner := ownerOf(pt, rs.grid, rs.gbox.L)
+		if owner == rs.comm.Rank() {
+			keepPos = append(keepPos, rs.pos[3*i:3*i+3]...)
+			keepVel = append(keepVel, rs.vel[3*i:3*i+3]...)
+			keepTyp = append(keepTyp, rs.typ[i])
+			keepGid = append(keepGid, rs.gid[i])
+			continue
+		}
+		b := &out[owner]
+		b.Pos = append(b.Pos, rs.pos[3*i:3*i+3]...)
+		b.Vel = append(b.Vel, rs.vel[3*i:3*i+3]...)
+		b.Typ = append(b.Typ, rs.typ[i])
+		b.Gid = append(b.Gid, rs.gid[i])
+	}
+	rs.pos, rs.vel, rs.typ, rs.gid = keepPos, keepVel, keepTyp, keepGid
+
+	// All-to-all exchange (deterministic order).
+	me := rs.comm.Rank()
+	for dst := 0; dst < p; dst++ {
+		if dst != me {
+			rs.comm.Send(dst, tagMigrate, out[dst])
+		}
+	}
+	for src := 0; src < p; src++ {
+		if src == me {
+			continue
+		}
+		b := rs.comm.Recv(src, tagMigrate).(atomBundle)
+		rs.pos = append(rs.pos, b.Pos...)
+		rs.vel = append(rs.vel, b.Vel...)
+		rs.typ = append(rs.typ, b.Typ...)
+		rs.gid = append(rs.gid, b.Gid...)
+	}
+	rs.nloc = len(rs.typ)
+}
+
+// borders performs the staged x -> y -> z ghost exchange, recording the
+// plan for later forward/reverse communication. Ghosts accumulated in
+// earlier stages are forwarded too, which is what populates edge and
+// corner regions transitively.
+func (rs *rankState) borders() {
+	rs.dropGhosts()
+	for dim := 0; dim < 3; dim++ {
+		// Candidates for this dimension: locals plus ghosts from earlier
+		// dimensions. Ghosts received within this dimension must not be
+		// re-sent (they would bounce back to their owners, or re-enter as
+		// spurious duplicates in the self-exchange case).
+		nBeforeDim := rs.nall()
+		// Phase A: send low-side atoms to the left neighbor, receive the
+		// right neighbor's low-side atoms (which sit just above my hi).
+		// Phase B: mirror.
+		for dir := 0; dir < 2; dir++ {
+			var sendTo, recvFrom int
+			var shiftSend float64
+			cl := rs.coord
+			if dir == 0 {
+				cl[dim]--
+				sendTo = rankOf(cl, rs.grid)
+				cr := rs.coord
+				cr[dim]++
+				recvFrom = rankOf(cr, rs.grid)
+				if rs.coord[dim] == 0 {
+					shiftSend = rs.gbox.L[dim] // wrap to the high side
+				}
+			} else {
+				cl[dim]++
+				sendTo = rankOf(cl, rs.grid)
+				cr := rs.coord
+				cr[dim]--
+				recvFrom = rankOf(cr, rs.grid)
+				if rs.coord[dim] == rs.grid[dim]-1 {
+					shiftSend = -rs.gbox.L[dim] // wrap to the low side
+				}
+			}
+
+			// Select atoms within the ghost width of the boundary.
+			var idx []int32
+			for i := 0; i < nBeforeDim; i++ {
+				x := rs.pos[3*i+dim]
+				if dir == 0 && x < rs.lo[dim]+rs.cut {
+					idx = append(idx, int32(i))
+				}
+				if dir == 1 && x >= rs.hi[dim]-rs.cut {
+					idx = append(idx, int32(i))
+				}
+			}
+			b := atomBundle{
+				Pos: make([]float64, 0, 3*len(idx)),
+				Typ: make([]int, 0, len(idx)),
+				Gid: make([]int64, 0, len(idx)),
+			}
+			for _, i := range idx {
+				x, y, z := rs.pos[3*i], rs.pos[3*i+1], rs.pos[3*i+2]
+				switch dim {
+				case 0:
+					x += shiftSend
+				case 1:
+					y += shiftSend
+				default:
+					z += shiftSend
+				}
+				b.Pos = append(b.Pos, x, y, z)
+				b.Typ = append(b.Typ, rs.typ[i])
+				b.Gid = append(b.Gid, rs.gid[i])
+			}
+
+			tag := tagBorder + 2*dim + dir
+			rs.comm.Send(sendTo, tag, b)
+			in := rs.comm.Recv(recvFrom, tag).(atomBundle)
+
+			base := rs.nall()
+			rs.pos = append(rs.pos, in.Pos...)
+			rs.typ = append(rs.typ, in.Typ...)
+			rs.gid = append(rs.gid, in.Gid...)
+			rs.plan = append(rs.plan, stagePlan{
+				dim: dim, dir: dir,
+				sendTo: sendTo, recvFrom: recvFrom,
+				sendIdx: idx, shift: shiftSend,
+				recvBase: base, recvCnt: len(in.Typ),
+			})
+		}
+	}
+}
+
+// forward refreshes ghost positions along the recorded plan (the per-step
+// ghost-region communication of Sec. 5.4).
+func (rs *rankState) forward() {
+	for si := range rs.plan {
+		sp := &rs.plan[si]
+		buf := make([]float64, 0, 3*len(sp.sendIdx))
+		for _, i := range sp.sendIdx {
+			x, y, z := rs.pos[3*i], rs.pos[3*i+1], rs.pos[3*i+2]
+			switch sp.dim {
+			case 0:
+				x += sp.shift
+			case 1:
+				y += sp.shift
+			default:
+				z += sp.shift
+			}
+			buf = append(buf, x, y, z)
+		}
+		tag := tagForward + si
+		rs.comm.Send(sp.sendTo, tag, buf)
+		in := rs.comm.Recv(sp.recvFrom, tag).([]float64)
+		copy(rs.pos[3*sp.recvBase:3*(sp.recvBase+sp.recvCnt)], in)
+	}
+}
+
+// reverse returns ghost forces to their owners along the plan in reverse
+// order, accumulating into the sender's force entries (which may
+// themselves be ghosts of an earlier stage, cascading the contribution
+// home).
+func (rs *rankState) reverse(force []float64) {
+	for si := len(rs.plan) - 1; si >= 0; si-- {
+		sp := &rs.plan[si]
+		buf := make([]float64, 3*sp.recvCnt)
+		copy(buf, force[3*sp.recvBase:3*(sp.recvBase+sp.recvCnt)])
+		tag := tagReverse + si
+		// Reverse direction: I received ghosts from recvFrom, so I return
+		// their forces there; my own sent atoms' forces come back from
+		// sendTo.
+		rs.comm.Send(sp.recvFrom, tag, buf)
+		in := rs.comm.Recv(sp.sendTo, tag).([]float64)
+		for k, i := range sp.sendIdx {
+			force[3*i] += in[3*k]
+			force[3*i+1] += in[3*k+1]
+			force[3*i+2] += in[3*k+2]
+		}
+	}
+}
+
+// ghostCount returns the current number of ghost atoms.
+func (rs *rankState) ghostCount() int { return rs.nall() - rs.nloc }

@@ -1,0 +1,282 @@
+package domain
+
+import (
+	"fmt"
+	"time"
+
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/md"
+	"deepmd-go/internal/mpi"
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/units"
+)
+
+// Options configures a domain-decomposed MD run.
+type Options struct {
+	// Ranks is the number of simulated MPI ranks (goroutines).
+	Ranks int
+	// Grid is the process grid; zero values select BestGrid.
+	Grid [3]int
+	// Dt is the time step in ps.
+	Dt float64
+	// Steps is the number of MD steps.
+	Steps int
+	// Spec is the neighbor requirement (cutoff + skin = ghost width).
+	Spec neighbor.Spec
+	// RebuildEvery is the migration/border cadence (paper: 50).
+	RebuildEvery int
+	// ThermoEvery is the reduction cadence (paper: 20).
+	ThermoEvery int
+	// UseIallreduce switches the thermo reduction to the non-blocking
+	// collective (Sec. 5.4); results are then consumed one sample late,
+	// mirroring the paper's pipelining.
+	UseIallreduce bool
+	// GatherForces collects final per-atom forces by global id on rank 0
+	// (used by verification tests; costs one gather).
+	GatherForces bool
+}
+
+// Stats is the result of a parallel run.
+type Stats struct {
+	// Thermo holds the globally reduced samples (rank 0's view).
+	Thermo []md.Thermo
+	// AtomsPerRank and GhostsPerRank are measured after the last rebuild
+	// (the quantities of Table 4).
+	AtomsPerRank  []int
+	GhostsPerRank []int
+	// ForceByGID and PosByGID are gathered when Options.GatherForces.
+	ForceByGID map[int64][3]float64
+	PosByGID   map[int64][3]float64
+	// Messages and Bytes are the communication totals.
+	Messages, Bytes int64
+	// LoopTime is the MD loop wall time ("MD loop time" of Sec. 6.3).
+	LoopTime time.Duration
+}
+
+// Run executes a domain-decomposed simulation of the given full system.
+// Every rank receives the complete initial system (the replicated-setup
+// strategy of Sec. 7.3) and keeps only the atoms it owns. newPot builds a
+// per-rank potential evaluator.
+func Run(sys *md.System, newPot func() md.Potential, opt Options) (*Stats, error) {
+	if opt.Ranks < 1 {
+		opt.Ranks = 1
+	}
+	if opt.RebuildEvery <= 0 {
+		opt.RebuildEvery = 50
+	}
+	if opt.ThermoEvery <= 0 {
+		opt.ThermoEvery = 20
+	}
+	grid := opt.Grid
+	if grid[0] == 0 || grid[1] == 0 || grid[2] == 0 {
+		grid = BestGrid(opt.Ranks, sys.Box.L)
+	}
+	if grid[0]*grid[1]*grid[2] != opt.Ranks {
+		return nil, fmt.Errorf("domain: grid %v does not match %d ranks", grid, opt.Ranks)
+	}
+	cut := opt.Spec.RcutBuild()
+	if err := validateGrid(grid, sys.Box.L, cut); err != nil {
+		return nil, err
+	}
+
+	world := mpi.NewWorld(opt.Ranks)
+	stats := &Stats{
+		AtomsPerRank:  make([]int, opt.Ranks),
+		GhostsPerRank: make([]int, opt.Ranks),
+	}
+	start := time.Now()
+
+	var runErr error
+	func() {
+		// A rank error becomes a panic so the world aborts (unblocking
+		// the other ranks) and is converted back to an error here.
+		defer func() {
+			if p := recover(); p != nil {
+				runErr = fmt.Errorf("domain: %v", p)
+			}
+		}()
+		world.Run(func(c *mpi.Comm) {
+			if err := runRank(c, sys, newPot(), opt, grid, stats); err != nil {
+				panic(err)
+			}
+		})
+	}()
+	if runErr != nil {
+		return nil, runErr
+	}
+	stats.LoopTime = time.Since(start)
+	stats.Messages = world.Messages()
+	stats.Bytes = world.Bytes()
+	return stats, nil
+}
+
+// runRank is the per-rank SPMD body.
+func runRank(c *mpi.Comm, full *md.System, pot md.Potential, opt Options, grid [3]int, stats *Stats) error {
+	coord := coordOf(c.Rank(), grid)
+	lo, hi := subBox(coord, grid, full.Box.L)
+	rs := &rankState{
+		comm:  c,
+		grid:  grid,
+		coord: coord,
+		lo:    lo,
+		hi:    hi,
+		gbox:  full.Box,
+		cut:   opt.Spec.RcutBuild(),
+	}
+
+	// Replicated setup: select owned atoms from the full system.
+	for i := 0; i < full.N(); i++ {
+		p := [3]float64{full.Pos[3*i], full.Pos[3*i+1], full.Pos[3*i+2]}
+		full.Box.Wrap(p[:])
+		if ownerOf(p, grid, full.Box.L) != c.Rank() {
+			continue
+		}
+		rs.pos = append(rs.pos, p[0], p[1], p[2])
+		rs.vel = append(rs.vel, full.Vel[3*i:3*i+3]...)
+		rs.typ = append(rs.typ, full.Types[i])
+		rs.gid = append(rs.gid, int64(i))
+	}
+	rs.nloc = len(rs.typ)
+
+	var list *neighbor.List
+	var res core.Result
+	var pending *mpi.Request
+	var pendingStep int
+
+	rebuild := func() error {
+		// Wrap, migrate, exchange borders, rebuild the local list.
+		for i := 0; i < rs.nloc; i++ {
+			rs.gbox.Wrap(rs.pos[3*i : 3*i+3])
+		}
+		rs.migrate()
+		rs.borders()
+		l, err := neighbor.Build(opt.Spec, rs.pos, rs.typ, rs.nloc, nil)
+		if err != nil {
+			return err
+		}
+		list = l
+		return nil
+	}
+	compute := func() error {
+		if err := pot.Compute(rs.pos, rs.typ, rs.nloc, list, nil, &res); err != nil {
+			return err
+		}
+		rs.reverse(res.Force)
+		return nil
+	}
+
+	record := func(step int, g []float64) {
+		if c.Rank() != 0 {
+			return
+		}
+		n := g[4]
+		vol := rs.gbox.Volume()
+		tK := 0.0
+		if n > 1 {
+			tK = 2 * g[0] / ((3*n - 3) * units.Boltzmann)
+		}
+		nkt := n * units.Boltzmann * tK
+		stats.Thermo = append(stats.Thermo, md.Thermo{
+			Step:        step,
+			Kinetic:     g[0],
+			Potential:   g[1],
+			Temperature: tK,
+			Pressure:    (nkt + g[2]/3) / vol * units.PressureEVA3ToBar,
+			BoxZ:        rs.gbox.L[2],
+			StressZZ:    (nkt/3 + g[3]) / vol * units.PressureEVA3ToBar,
+		})
+	}
+	sample := func(step int) {
+		// Local contributions: KE, PE, virial trace, W_zz, atom count.
+		var ke float64
+		for i := 0; i < rs.nloc; i++ {
+			m := full.MassByType[rs.typ[i]]
+			ke += 0.5 * m * (rs.vel[3*i]*rs.vel[3*i] + rs.vel[3*i+1]*rs.vel[3*i+1] + rs.vel[3*i+2]*rs.vel[3*i+2])
+		}
+		ke *= units.KineticToEV
+		local := []float64{ke, res.Energy, res.Virial[0] + res.Virial[4] + res.Virial[8], res.Virial[8], float64(rs.nloc)}
+		if opt.UseIallreduce {
+			// Consume the previous pending reduction first (one sample
+			// of pipeline latency, as in Sec. 5.4).
+			if pending != nil {
+				record(pendingStep, pending.Wait())
+			}
+			pending = c.Iallreduce(local)
+			pendingStep = step
+		} else {
+			record(step, c.Allreduce(tagThermo, local))
+		}
+	}
+
+	if err := rebuild(); err != nil {
+		return err
+	}
+	if err := compute(); err != nil {
+		return err
+	}
+
+	for step := 1; step <= opt.Steps; step++ {
+		// Half kick + drift on locals.
+		for i := 0; i < rs.nloc; i++ {
+			im := units.ForceToAccel / full.MassByType[rs.typ[i]]
+			for a := 0; a < 3; a++ {
+				rs.vel[3*i+a] += 0.5 * opt.Dt * res.Force[3*i+a] * im
+				rs.pos[3*i+a] += opt.Dt * rs.vel[3*i+a]
+			}
+		}
+		if step%opt.RebuildEvery == 0 {
+			if err := rebuild(); err != nil {
+				return err
+			}
+		} else {
+			rs.forward()
+		}
+		if err := compute(); err != nil {
+			return err
+		}
+		for i := 0; i < rs.nloc; i++ {
+			im := units.ForceToAccel / full.MassByType[rs.typ[i]]
+			for a := 0; a < 3; a++ {
+				rs.vel[3*i+a] += 0.5 * opt.Dt * res.Force[3*i+a] * im
+			}
+		}
+		if step%opt.ThermoEvery == 0 {
+			sample(step)
+		}
+	}
+	if pending != nil {
+		// Drain the pipelined reduction so the last sample is recorded.
+		record(pendingStep, pending.Wait())
+	}
+
+	stats.AtomsPerRank[c.Rank()] = rs.nloc
+	stats.GhostsPerRank[c.Rank()] = rs.ghostCount()
+
+	if opt.GatherForces {
+		type gathered struct {
+			Gid   []int64
+			Force []float64
+			Pos   []float64
+		}
+		g := gathered{Gid: rs.gid[:rs.nloc]}
+		g.Force = append(g.Force, res.Force[:3*rs.nloc]...)
+		g.Pos = append(g.Pos, rs.pos[:3*rs.nloc]...)
+		if c.Rank() == 0 {
+			stats.ForceByGID = make(map[int64][3]float64)
+			stats.PosByGID = make(map[int64][3]float64)
+			add := func(g gathered) {
+				for k, id := range g.Gid {
+					stats.ForceByGID[id] = [3]float64{g.Force[3*k], g.Force[3*k+1], g.Force[3*k+2]}
+					stats.PosByGID[id] = [3]float64{g.Pos[3*k], g.Pos[3*k+1], g.Pos[3*k+2]}
+				}
+			}
+			add(g)
+			for src := 1; src < c.Size(); src++ {
+				add(c.Recv(src, tagGather).(gathered))
+			}
+		} else {
+			c.Send(0, tagGather, g)
+		}
+	}
+	return nil
+}

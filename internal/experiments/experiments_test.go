@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"deepmd-go/internal/analysis"
+)
+
+// Every custom operator must be faster in its optimized form, with
+// Environment (containing the sort) the largest win — the Table 3 shape.
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3(Quick, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Speedup() <= 1.0 {
+			t.Errorf("%s: optimized not faster (%.2fx)", row.Op, row.Speedup())
+		}
+	}
+	if !strings.Contains(res.String(), "Environment") {
+		t.Fatal("table text missing Environment row")
+	}
+}
+
+// Each fusion must beat its unfused counterpart — the Sec. 7.1.2 shape.
+func TestFusionShape(t *testing.T) {
+	res := Fusion(Quick, 3)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Speedup() <= 1.0 {
+			t.Errorf("%s: fused not faster (%.2fx)", row.Name, row.Speedup())
+		}
+	}
+}
+
+// The compressed radix sort must beat the struct comparison sort
+// (Sec. 5.2.2 ablation).
+func TestAblationSortShape(t *testing.T) {
+	structT, radixT, err := AblationSort(Quick, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radixT >= structT {
+		t.Errorf("radix format %.2fms not faster than struct sort %.2fms",
+			radixT.Seconds()*1000, structT.Seconds()*1000)
+	}
+}
+
+// GEMM must dominate the operator breakdown, with a larger share for
+// copper than for water — the Fig. 3 shape.
+func TestFig3Shape(t *testing.T) {
+	res, err := Fig3(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 4 {
+		t.Fatalf("columns = %d", len(res.Columns))
+	}
+	byLabel := map[string]map[string]float64{}
+	for _, c := range res.Columns {
+		byLabel[c.Label] = c.Breakdown
+		top := ""
+		topV := 0.0
+		for k, v := range c.Breakdown {
+			if v > topV {
+				top, topV = k, v
+			}
+		}
+		if top != "GEMM" {
+			t.Errorf("%s: dominant category %s (%.1f%%), want GEMM", c.Label, top, topV)
+		}
+	}
+	if byLabel["Cu-Double"]["GEMM"] <= byLabel["H2O-Double"]["GEMM"] {
+		t.Errorf("copper GEMM share %.1f%% not above water %.1f%% (paper: 74%% vs 63%%)",
+			byLabel["Cu-Double"]["GEMM"], byLabel["H2O-Double"]["GEMM"])
+	}
+}
+
+// Mixed precision: small deviations, faster than double, about half the
+// network memory — the Sec. 7.1.3 shape.
+func TestMixedShape(t *testing.T) {
+	res, err := Mixed(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyDevPerMol > 5e-3 {
+		t.Errorf("energy deviation %.2e eV/molecule too large", res.EnergyDevPerMol)
+	}
+	if res.ForceRMSD > 0.05 {
+		t.Errorf("force RMSD %.2e too large", res.ForceRMSD)
+	}
+	// On scalar CPU Go, float32 math has the same per-op throughput as
+	// float64 (the GPU's 2x single-precision peak is a hardware property;
+	// see DESIGN.md), so the robust assertions are "no slowdown" plus the
+	// halved memory; the 1.5x GPU speedup is reproduced by the calibrated
+	// performance model (internal/perfmodel, Fig. 5 mixed curves).
+	if res.SpeedupVsDouble < 0.9 {
+		t.Errorf("mixed much slower than double: %.2fx", res.SpeedupVsDouble)
+	}
+	if res.MemoryRatio < 0.4 || res.MemoryRatio > 0.6 {
+		t.Errorf("memory ratio %.2f, want ~0.5", res.MemoryRatio)
+	}
+}
+
+// Baseline < optimized double < optimized mixed in speed — the Sec. 7.1.1
+// ordering.
+func TestSingleShape(t *testing.T) {
+	res, err := Single(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Double >= res.Baseline {
+		t.Errorf("optimized double (%v) not faster than baseline (%v)", res.Double, res.Baseline)
+	}
+	if res.Mixed >= res.Baseline {
+		t.Errorf("mixed (%v) not faster than baseline (%v)", res.Mixed, res.Baseline)
+	}
+}
+
+// Fig. 4: double and mixed RDFs must agree closely after the full
+// train-and-simulate pipeline.
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and runs two MD trajectories")
+	}
+	res, err := Fig4(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range res.MaxDeviation {
+		// Thermostatted toy trajectories with float32 math diverge over
+		// time (chaotic dynamics), so the budget is the histogram-noise
+		// scale, not machine epsilon.
+		if d > 1.0 {
+			t.Errorf("%s deviation %.3f too large", name, d)
+		}
+	}
+	// Fig. 4's claim is that double and mixed precision produce the same
+	// structure. Short Quick-scale trajectories leave histogram noise, so
+	// the robust comparison is the normalized L1 distance between each
+	// pair of curves: identical ensembles give a small value, structurally
+	// different ones approach 1. Absolute water-likeness is limited by the
+	// energy-only trainer substitution (see DESIGN.md).
+	for _, name := range []string{"gOO", "gOH", "gHH"} {
+		gd := res.CurvesDouble[name][1]
+		gm := res.CurvesMixed[name][1]
+		var num, den float64
+		for i := range gd {
+			num += math.Abs(gd[i] - gm[i])
+			den += (gd[i] + gm[i]) / 2
+		}
+		if den == 0 {
+			t.Fatalf("%s: empty curves", name)
+		}
+		if rel := num / den; rel > 0.5 {
+			t.Errorf("%s normalized L1 distance %.2f between precisions (want << 1)", name, rel)
+		}
+	}
+}
+
+// Fig. 7: deformation must create hcp (stacking faults) while keeping a
+// large fcc population.
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an anneal + deformation trajectory")
+	}
+	res, err := Fig7(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalStrain < 0.08 || res.FinalStrain > 0.12 {
+		t.Errorf("final strain %.3f, want ~0.10", res.FinalStrain)
+	}
+	if res.CensusBefore[analysis.FCC] == 0 {
+		t.Error("no fcc atoms before deformation")
+	}
+	// Plastic damage must grow: the fcc population drops as the sample
+	// deforms. At Quick-scale grain sizes (~2 nm) plasticity is mostly
+	// grain-boundary mediated (the inverse Hall-Petch regime), so the
+	// robust observable is fcc loss; explicit hcp stacking-fault growth
+	// appears at the Full scale (see EXPERIMENTS.md).
+	defects0 := res.CensusBefore[analysis.HCP] + res.CensusBefore[analysis.Other]
+	defects1 := res.CensusAfter[analysis.HCP] + res.CensusAfter[analysis.Other]
+	if res.CensusAfter[analysis.FCC] >= res.CensusBefore[analysis.FCC] || defects1 <= defects0 {
+		t.Errorf("no plastic damage: fcc %d -> %d, defects %d -> %d",
+			res.CensusBefore[analysis.FCC], res.CensusAfter[analysis.FCC], defects0, defects1)
+	}
+	t.Logf("census before: %v, after: %v", res.CensusBefore, res.CensusAfter)
+	if len(res.Strain) != len(res.StressZZ) {
+		t.Fatal("strain/stress length mismatch")
+	}
+}
+
+// Table 1 must include local measurements with optimized faster than
+// baseline.
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Published) != 8 || len(res.ThisWork) != 2 || len(res.LocalRows) != 3 {
+		t.Fatalf("row counts %d/%d/%d", len(res.Published), len(res.ThisWork), len(res.LocalRows))
+	}
+	if res.LocalRows[1].TtS >= res.LocalRows[0].TtS {
+		t.Errorf("optimized TtS %.2e not below baseline %.2e", res.LocalRows[1].TtS, res.LocalRows[0].TtS)
+	}
+	if !strings.Contains(res.String(), "Qbox") {
+		t.Fatal("table text missing literature rows")
+	}
+}
+
+// The scaling tables must render and local scaling must conserve work.
+func TestScalingTables(t *testing.T) {
+	if s := Fig5Table(); !strings.Contains(s, "4560") {
+		t.Fatal("Fig5 table missing full-machine row")
+	}
+	if s := Fig6Table(); !strings.Contains(s, "PFLOPS") {
+		t.Fatal("Fig6 table malformed")
+	}
+	if s := Table4Text(); !strings.Contains(s, "27360") {
+		t.Fatal("Table4 missing last row")
+	}
+	res, err := LocalScaling(Quick, 10, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Messages != 0 && res.Rows[0].Ranks == 1 {
+		// Rank 1 exchanges only with itself (periodic images).
+		t.Logf("1-rank messages: %d (self-images)", res.Rows[0].Messages)
+	}
+	if res.Rows[1].Messages <= res.Rows[0].Messages {
+		t.Error("2 ranks should exchange more messages than 1")
+	}
+}
+
+func TestSetupShape(t *testing.T) {
+	txt, res, err := SetupText(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt, "broadcast") {
+		t.Fatal("setup text malformed")
+	}
+	if res.Ranks != 3 {
+		t.Fatalf("ranks = %d", res.Ranks)
+	}
+}

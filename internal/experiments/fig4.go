@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deepmd-go/internal/analysis"
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/lattice"
+	"deepmd-go/internal/md"
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/refpot"
+	"deepmd-go/internal/train"
+)
+
+// Fig4Result reproduces the Fig. 4 workflow: train a water DP model on
+// "ab initio" data (the toy-water oracle substitutes for DFT), run the
+// same trajectory protocol once with the double-precision model and once
+// with the mixed-precision model, and compare the three radial
+// distribution functions. The paper's claim: the RDFs "agree perfectly";
+// the quantitative assertion here is a small maximum deviation between
+// the double and mixed g(r) curves.
+type Fig4Result struct {
+	Molecules    int
+	Steps        int
+	TrainSteps   int
+	FinalLoss    float64
+	MaxDeviation map[string]float64 // gOO, gOH, gHH
+	CurvesDouble map[string][2][]float64
+	CurvesMixed  map[string][2][]float64
+}
+
+// Fig4 runs the complete train-then-simulate-then-compare pipeline.
+func Fig4(sc Scale) (*Fig4Result, error) {
+	cfg := waterModelConfig(sc)
+	cfg.Seed = 11
+	// Core-repulsion prior (DP+ZBL-style safeguard): energy-only training
+	// cannot learn the repulsive wall below the sampled distances, so an
+	// analytic wall keeps trajectories physical. It is inert above 0.8 A.
+	cfg.RepA = 25
+	cfg.RepRcut = 0.8
+
+	// Train briefly on oracle-labeled frames so the potential is physical
+	// enough for stable thermostatted MD.
+	nx := waterNX(sc)
+	base := lattice.Water(nx, nx, nx, lattice.WaterSpacing, 21)
+	oracle := refpot.NewToyWater()
+	spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
+	nframes, trainSteps, mdSteps := 32, 700, 240
+	if sc == Full {
+		nframes, trainSteps, mdSteps = 64, 1500, 1000
+	}
+	// Cover the thermally accessible region and the short-range repulsive
+	// wall: perturbed frames around equilibrium plus compressed-box frames
+	// (energy-only training learns repulsion only if the data shows it).
+	frames, err := train.GenData(oracle, base, spec, nframes, 0.01, 0.15, 31)
+	if err != nil {
+		return nil, err
+	}
+	squeezed := lattice.Water(nx, nx, nx, lattice.WaterSpacing*0.94, 22)
+	more, err := train.GenData(oracle, squeezed, spec, nframes/2, 0.01, 0.12, 33)
+	if err != nil {
+		return nil, err
+	}
+	frames = append(frames, more...)
+	cfg.AtomEnerBias = train.FitEnergyBias(frames, 2)
+	model, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := train.NewTrainer(model, train.Config{LR: 4e-3, BatchSize: 4, DecayRate: 0.96, DecaySteps: 50, Seed: 41})
+	if err != nil {
+		return nil, err
+	}
+	var loss float64
+	for i := 0; i < trainSteps; i++ {
+		if loss, err = tr.Step(frames); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Fig4Result{
+		Molecules:    base.N() / 3,
+		Steps:        mdSteps,
+		TrainSteps:   trainSteps,
+		FinalLoss:    loss,
+		MaxDeviation: map[string]float64{},
+		CurvesDouble: map[string][2][]float64{},
+		CurvesMixed:  map[string][2][]float64{},
+	}
+
+	// Identical protocol in both precisions.
+	run := func(pot md.Potential) (map[string]*analysis.RDF, error) {
+		cell := lattice.Water(nx, nx, nx, lattice.WaterSpacing, 21)
+		sys := &md.System{
+			Pos:        append([]float64(nil), cell.Pos...),
+			Types:      cell.Types,
+			MassByType: cfg.Masses,
+			Box:        cell.Box,
+		}
+		sys.InitVelocities(330, 7)
+		sim, err := md.NewSim(sys, pot, md.Options{
+			Dt:           0.0005,
+			Spec:         spec,
+			RebuildEvery: 10,
+			ThermoEvery:  20,
+			Thermostat:   &md.Berendsen{TargetK: 330, TauPs: 0.05},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rmax := cell.Box.L[0] / 2 * 0.99
+		rdfs := map[string]*analysis.RDF{
+			"gOO": analysis.NewRDF(0, 0, rmax, 40),
+			"gOH": analysis.NewRDF(0, 1, rmax, 40),
+			"gHH": analysis.NewRDF(1, 1, rmax, 40),
+		}
+		// Equilibrate half, sample half.
+		if err := sim.Run(sim.Opt.RebuildEvery * (res.Steps / 2 / sim.Opt.RebuildEvery)); err != nil {
+			return nil, err
+		}
+		for s := 0; s < res.Steps/2; s += 10 {
+			if err := sim.Run(10); err != nil {
+				return nil, err
+			}
+			for _, r := range rdfs {
+				r.Accumulate(sys.Pos, sys.Types, &sys.Box)
+			}
+		}
+		return rdfs, nil
+	}
+
+	rdfD, err := run(core.NewEvaluator[float64](model))
+	if err != nil {
+		return nil, fmt.Errorf("double run: %w", err)
+	}
+	rdfM, err := run(core.NewEvaluator[float32](model))
+	if err != nil {
+		return nil, fmt.Errorf("mixed run: %w", err)
+	}
+	for name := range rdfD {
+		d, err := analysis.MaxDeviation(rdfD[name], rdfM[name])
+		if err != nil {
+			return nil, err
+		}
+		res.MaxDeviation[name] = d
+		rs, g := rdfD[name].Curve()
+		res.CurvesDouble[name] = [2][]float64{rs, g}
+		rs2, g2 := rdfM[name].Curve()
+		res.CurvesMixed[name] = [2][]float64{rs2, g2}
+	}
+	return res, nil
+}
+
+// String prints deviations and coarse curves.
+func (r *Fig4Result) String() string {
+	s := fmt.Sprintf("Fig 4: RDFs double vs mixed, %d molecules, %d MD steps (trained %d steps, final loss %.2e)\n",
+		r.Molecules, r.Steps, r.TrainSteps, r.FinalLoss)
+	for _, name := range []string{"gOO", "gOH", "gHH"} {
+		s += fmt.Sprintf("  max |%s_double - %s_mixed| = %.4f\n", name, name, r.MaxDeviation[name])
+	}
+	s += "  (paper: curves indistinguishable; deviations at histogram-noise level)\n"
+	return s
+}

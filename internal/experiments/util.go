@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+
+	"deepmd-go/internal/core"
+)
+
+// tempModelFile saves the model into a temporary file and returns its
+// path. Callers are test/benchmark harnesses; the file lives in the OS
+// temp dir and is cleaned by the OS.
+func tempModelFile(m *core.Model) (string, error) {
+	dir, err := os.MkdirTemp("", "deepmd-model-*")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "model.dp")
+	if err := m.SaveFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,163 @@
+package lattice
+
+import (
+	"math"
+	"math/rand"
+
+	"deepmd-go/internal/neighbor"
+)
+
+// Nanocrystal builds a nanocrystalline FCC metal in a cubic box of edge l
+// (Angstrom) from ngrains Voronoi grains, each a randomly oriented,
+// randomly shifted FCC crystal with lattice constant a. Atoms closer than
+// minSep to an atom of an earlier grain (across the grain boundary) are
+// removed, which is the standard recipe for Schiotz-style nanocrystalline
+// samples (Fig. 7(a) of the paper: "64 randomly oriented crystals with
+// 15-nm averaged grain diameter").
+func Nanocrystal(l float64, ngrains int, a, minSep float64, seed int64) *System {
+	rng := rand.New(rand.NewSource(seed))
+	box := neighbor.Box{L: [3]float64{l, l, l}}
+
+	// Grain seeds (Voronoi centers) and orientations.
+	centers := make([][3]float64, ngrains)
+	rots := make([][3][3]float64, ngrains)
+	shifts := make([][3]float64, ngrains)
+	for g := range centers {
+		centers[g] = [3]float64{rng.Float64() * l, rng.Float64() * l, rng.Float64() * l}
+		rots[g] = randomRotation(rng)
+		shifts[g] = [3]float64{rng.Float64() * a, rng.Float64() * a, rng.Float64() * a}
+	}
+
+	// ownerOf returns the grain whose (periodic) center is nearest.
+	ownerOf := func(p [3]float64) int {
+		best, bd := 0, math.Inf(1)
+		for g, c := range centers {
+			d := [3]float64{p[0] - c[0], p[1] - c[1], p[2] - c[2]}
+			box.MinImage(&d)
+			r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
+			if r2 < bd {
+				bd, best = r2, g
+			}
+		}
+		return best
+	}
+
+	basis := [4][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	s := &System{Box: box}
+
+	// For each grain, enumerate one coherent lattice patch around its
+	// center covering the half-box minimum-image cube: every point of the
+	// grain's periodic Voronoi cell has a unique representative there, so
+	// the crystal is continuous across box faces (no spurious face seams)
+	// and each cell is filled exactly once.
+	span := int(math.Ceil(l*math.Sqrt(3)/(2*a))) + 2
+	for g := 0; g < ngrains; g++ {
+		rot := rots[g]
+		c := centers[g]
+		for ix := -span; ix <= span; ix++ {
+			for iy := -span; iy <= span; iy++ {
+				for iz := -span; iz <= span; iz++ {
+					for _, b := range basis {
+						lp := [3]float64{
+							(float64(ix)+b[0])*a + shifts[g][0],
+							(float64(iy)+b[1])*a + shifts[g][1],
+							(float64(iz)+b[2])*a + shifts[g][2],
+						}
+						d := matVec(rot, lp)
+						// Representative image: within the half-box cube
+						// around the grain center.
+						if d[0] <= -l/2 || d[0] > l/2 || d[1] <= -l/2 || d[1] > l/2 || d[2] <= -l/2 || d[2] > l/2 {
+							continue
+						}
+						p := [3]float64{c[0] + d[0], c[1] + d[1], c[2] + d[2]}
+						for k := 0; k < 3; k++ {
+							p[k] -= l * math.Floor(p[k]/l)
+						}
+						if ownerOf(p) != g {
+							continue
+						}
+						s.Pos = append(s.Pos, p[0], p[1], p[2])
+						s.Types = append(s.Types, 0)
+					}
+				}
+			}
+		}
+	}
+	removeClose(s, minSep)
+	return s
+}
+
+// removeClose deletes later atoms that sit within minSep of an earlier
+// atom (periodic), cleaning up grain-boundary overlaps.
+func removeClose(s *System, minSep float64) {
+	if minSep <= 0 || s.N() < 2 {
+		return
+	}
+	// Spatial hash with cell size minSep.
+	var nc [3]int
+	var cw [3]float64
+	for k := 0; k < 3; k++ {
+		nc[k] = max(1, int(s.Box.L[k]/minSep))
+		cw[k] = s.Box.L[k] / float64(nc[k])
+	}
+	cellID := func(p []float64) (int, [3]int) {
+		var c [3]int
+		for k := 0; k < 3; k++ {
+			ci := int(p[k] / cw[k])
+			if ci >= nc[k] {
+				ci = nc[k] - 1
+			}
+			if ci < 0 {
+				ci = 0
+			}
+			c[k] = ci
+		}
+		return (c[0]*nc[1]+c[1])*nc[2] + c[2], c
+	}
+	cells := make(map[int][]int)
+	keep := make([]bool, s.N())
+	min2 := minSep * minSep
+	for i := 0; i < s.N(); i++ {
+		p := s.Pos[3*i : 3*i+3]
+		_, c := cellID(p)
+		ok := true
+	scan:
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					cx := ((c[0]+dx)%nc[0] + nc[0]) % nc[0]
+					cy := ((c[1]+dy)%nc[1] + nc[1]) % nc[1]
+					cz := ((c[2]+dz)%nc[2] + nc[2]) % nc[2]
+					id := (cx*nc[1]+cy)*nc[2] + cz
+					for _, j := range cells[id] {
+						d := [3]float64{
+							s.Pos[3*j] - p[0],
+							s.Pos[3*j+1] - p[1],
+							s.Pos[3*j+2] - p[2],
+						}
+						s.Box.MinImage(&d)
+						if d[0]*d[0]+d[1]*d[1]+d[2]*d[2] < min2 {
+							ok = false
+							break scan
+						}
+					}
+				}
+			}
+		}
+		if ok {
+			keep[i] = true
+			id, _ := cellID(p)
+			cells[id] = append(cells[id], i)
+		}
+	}
+	// Compact.
+	var pos []float64
+	var types []int
+	for i, k := range keep {
+		if k {
+			pos = append(pos, s.Pos[3*i:3*i+3]...)
+			types = append(types, s.Types[i])
+		}
+	}
+	s.Pos, s.Types = pos, types
+}

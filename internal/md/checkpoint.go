@@ -1,0 +1,59 @@
+package md
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Checkpoint is a restartable snapshot of a simulation: positions,
+// velocities, box, types and the step counter. Potentials and options are
+// reconstructed by the caller (they are code, not state), which is the
+// same division LAMMPS restart files use.
+type Checkpoint struct {
+	Step       int
+	Pos, Vel   []float64
+	Types      []int
+	MassByType []float64
+	BoxL       [3]float64
+}
+
+// SaveCheckpoint writes the current state of the simulation.
+func (s *Sim) SaveCheckpoint(w io.Writer) error {
+	cp := Checkpoint{
+		Step:       s.step,
+		Pos:        s.Sys.Pos,
+		Vel:        s.Sys.Vel,
+		Types:      s.Sys.Types,
+		MassByType: s.Sys.MassByType,
+		BoxL:       s.Sys.Box.L,
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("md: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a snapshot and returns the restored system and step
+// counter. Pass the step to ResumeAt after constructing a new Sim.
+func LoadCheckpoint(r io.Reader) (*System, int, error) {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, 0, fmt.Errorf("md: decoding checkpoint: %w", err)
+	}
+	if len(cp.Pos) != 3*len(cp.Types) || len(cp.Vel) != 3*len(cp.Types) {
+		return nil, 0, fmt.Errorf("md: checkpoint arrays inconsistent")
+	}
+	sys := &System{
+		Pos:        cp.Pos,
+		Vel:        cp.Vel,
+		Types:      cp.Types,
+		MassByType: cp.MassByType,
+	}
+	sys.Box.L = cp.BoxL
+	return sys, cp.Step, nil
+}
+
+// ResumeAt sets the step counter of a freshly constructed simulation so
+// cadence-based actions (rebuilds, thermo) continue on schedule.
+func (s *Sim) ResumeAt(step int) { s.step = step }

@@ -1,0 +1,23 @@
+package md
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteXYZ writes the current configuration in extended-XYZ format, the
+// interchange format used by the examples for visualization.
+func WriteXYZ(w io.Writer, sys *System, typeNames []string, comment string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", sys.N())
+	fmt.Fprintf(bw, "Lattice=\"%g 0 0 0 %g 0 0 0 %g\" %s\n", sys.Box.L[0], sys.Box.L[1], sys.Box.L[2], comment)
+	for i := 0; i < sys.N(); i++ {
+		name := "X"
+		if t := sys.Types[i]; t < len(typeNames) {
+			name = typeNames[t]
+		}
+		fmt.Fprintf(bw, "%s %.8f %.8f %.8f\n", name, sys.Pos[3*i], sys.Pos[3*i+1], sys.Pos[3*i+2])
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,327 @@
+// Package md is the molecular-dynamics engine that plays the role LAMMPS
+// plays in the paper: it owns atomic state, integrates the equations of
+// motion with velocity Verlet, maintains the neighbor list on the paper's
+// buffer/rebuild cadence, collects thermodynamic output on the reduced
+// cadence of Sec. 5.4, applies thermostats and box deformation, and calls
+// a Potential for energies and forces. The Deep Potential evaluators and
+// the empirical reference potentials plug into the same seam, exactly as
+// "we replace the computation of EFFs in LAMMPS by the computation of DP"
+// (Sec. 5.4).
+package md
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/perf"
+	"deepmd-go/internal/units"
+)
+
+// Potential computes energy, forces and virial for a configuration. It is
+// implemented by core.Evaluator, core.BaselineEvaluator and the refpot
+// potentials.
+type Potential interface {
+	Compute(pos []float64, types []int, nloc int, list *neighbor.List, box *neighbor.Box, out *core.Result) error
+}
+
+// System is the mutable atomic state of a serial (single-rank) simulation.
+type System struct {
+	Pos, Vel   []float64
+	Types      []int
+	MassByType []float64
+	Box        neighbor.Box
+}
+
+// N returns the number of atoms.
+func (s *System) N() int { return len(s.Types) }
+
+// Mass returns the mass of atom i in amu.
+func (s *System) Mass(i int) float64 { return s.MassByType[s.Types[i]] }
+
+// KineticEnergy returns the kinetic energy in eV.
+func (s *System) KineticEnergy() float64 {
+	var ke float64
+	for i := 0; i < s.N(); i++ {
+		m := s.Mass(i)
+		v2 := s.Vel[3*i]*s.Vel[3*i] + s.Vel[3*i+1]*s.Vel[3*i+1] + s.Vel[3*i+2]*s.Vel[3*i+2]
+		ke += 0.5 * m * v2
+	}
+	return ke * units.KineticToEV
+}
+
+// Temperature returns the instantaneous temperature in K.
+func (s *System) Temperature() float64 {
+	dof := float64(3*s.N() - 3)
+	if dof <= 0 {
+		return 0
+	}
+	return 2 * s.KineticEnergy() / (dof * units.Boltzmann)
+}
+
+// InitVelocities draws velocities from the Boltzmann distribution at
+// temperature T (K) and removes the center-of-mass drift, as in Sec. 6.1
+// ("velocities of the atoms are randomly initialized subjected to the
+// Boltzmann distribution at 330 K").
+func (s *System) InitVelocities(tempK float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	if len(s.Vel) != 3*s.N() {
+		s.Vel = make([]float64, 3*s.N())
+	}
+	for i := 0; i < s.N(); i++ {
+		sigma := math.Sqrt(units.Boltzmann * tempK / (s.Mass(i) * units.KineticToEV))
+		for a := 0; a < 3; a++ {
+			s.Vel[3*i+a] = sigma * rng.NormFloat64()
+		}
+	}
+	s.RemoveDrift()
+	// Rescale to hit the target exactly.
+	if t := s.Temperature(); t > 0 {
+		f := math.Sqrt(tempK / t)
+		for i := range s.Vel {
+			s.Vel[i] *= f
+		}
+	}
+}
+
+// RemoveDrift zeroes the center-of-mass momentum.
+func (s *System) RemoveDrift() {
+	var p [3]float64
+	var mTot float64
+	for i := 0; i < s.N(); i++ {
+		m := s.Mass(i)
+		mTot += m
+		for a := 0; a < 3; a++ {
+			p[a] += m * s.Vel[3*i+a]
+		}
+	}
+	if mTot == 0 {
+		return
+	}
+	for i := 0; i < s.N(); i++ {
+		for a := 0; a < 3; a++ {
+			s.Vel[3*i+a] -= p[a] / mTot
+		}
+	}
+}
+
+// Thermo is one thermodynamic sample, collected every Options.ThermoEvery
+// steps like the paper's kinetic/potential energy, temperature and pressure
+// records (Sec. 6.1).
+type Thermo struct {
+	Step        int
+	Kinetic     float64 // eV
+	Potential   float64 // eV
+	Temperature float64 // K
+	Pressure    float64 // bar
+	BoxZ        float64 // A (tracks deformation)
+	StressZZ    float64 // bar (useful for strain-stress curves)
+}
+
+// Deform applies a constant true strain rate to one box axis with affine
+// remapping of coordinates — the tensile deformation protocol of the
+// Fig. 7 nanocrystal experiment (strain rate 5e8 / s along z).
+type Deform struct {
+	Axis int
+	// RatePerPs is the engineering strain rate in 1/ps (5e8 1/s = 5e-4
+	// 1/ps).
+	RatePerPs float64
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Dt is the time step in ps.
+	Dt float64
+	// Spec is the neighbor requirement of the potential (cutoff + skin).
+	Spec neighbor.Spec
+	// RebuildEvery rebuilds the neighbor list every this many steps
+	// (paper: 50, with a 2 A buffer).
+	RebuildEvery int
+	// ThermoEvery collects thermodynamic data every this many steps
+	// (paper: 20).
+	ThermoEvery int
+	// Thermostat is optional; nil runs NVE.
+	Thermostat Thermostat
+	// Deform optionally strains the box each step.
+	Deform *Deform
+	// SafetyCheck verifies the skin criterion at every rebuild and
+	// returns an error if the cadence was too lax.
+	SafetyCheck bool
+}
+
+// Sim drives one serial MD run.
+type Sim struct {
+	Sys *System
+	Pot Potential
+	Opt Options
+
+	// Timer separates setup from the MD loop as in Sec. 6.3.
+	Timer *perf.Timer
+	// Thermo log, one entry per sample.
+	Log []Thermo
+
+	list    *neighbor.List
+	tracker *neighbor.Tracker
+	res     core.Result
+	step    int
+}
+
+// NewSim validates options and prepares a simulation.
+func NewSim(sys *System, pot Potential, opt Options) (*Sim, error) {
+	if opt.Dt <= 0 {
+		return nil, fmt.Errorf("md: time step %g must be positive", opt.Dt)
+	}
+	if opt.RebuildEvery <= 0 {
+		opt.RebuildEvery = 50
+	}
+	if opt.ThermoEvery <= 0 {
+		opt.ThermoEvery = 20
+	}
+	if len(sys.Vel) != 3*sys.N() {
+		sys.Vel = make([]float64, 3*sys.N())
+	}
+	return &Sim{
+		Sys:     sys,
+		Pot:     pot,
+		Opt:     opt,
+		Timer:   perf.NewTimer(),
+		tracker: neighbor.NewTracker(opt.Spec.Skin),
+	}, nil
+}
+
+// Step advances the system by one velocity-Verlet step.
+func (s *Sim) Step() error {
+	sys := s.Sys
+	n := sys.N()
+	dt := s.Opt.Dt
+
+	if s.list == nil {
+		if err := s.rebuild(); err != nil {
+			return err
+		}
+		if err := s.Pot.Compute(sys.Pos, sys.Types, n, s.list, &sys.Box, &s.res); err != nil {
+			return err
+		}
+	}
+
+	// Half kick + drift.
+	for i := 0; i < n; i++ {
+		im := units.ForceToAccel / sys.Mass(i)
+		for a := 0; a < 3; a++ {
+			sys.Vel[3*i+a] += 0.5 * dt * s.res.Force[3*i+a] * im
+			sys.Pos[3*i+a] += dt * sys.Vel[3*i+a]
+		}
+	}
+
+	// Optional box deformation (affine remap).
+	if d := s.Opt.Deform; d != nil {
+		scale := 1 + d.RatePerPs*dt
+		sys.Box.L[d.Axis] *= scale
+		for i := 0; i < n; i++ {
+			sys.Pos[3*i+d.Axis] *= scale
+		}
+		s.tracker.Invalidate() // affine remap breaks the displacement check
+	}
+
+	s.step++
+	need := s.step%s.Opt.RebuildEvery == 0
+	if s.Opt.SafetyCheck && s.tracker.NeedsRebuild(sys.Pos) {
+		// The fixed cadence was too lax (or the box deformed): rebuild
+		// immediately instead of running on a stale list.
+		need = true
+	}
+	if need {
+		if err := s.rebuild(); err != nil {
+			return err
+		}
+	}
+
+	// New forces + half kick.
+	if err := s.Pot.Compute(sys.Pos, sys.Types, n, s.list, &sys.Box, &s.res); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		im := units.ForceToAccel / sys.Mass(i)
+		for a := 0; a < 3; a++ {
+			sys.Vel[3*i+a] += 0.5 * dt * s.res.Force[3*i+a] * im
+		}
+	}
+
+	if s.Opt.Thermostat != nil {
+		s.Opt.Thermostat.Apply(sys, dt)
+	}
+	if s.step%s.Opt.ThermoEvery == 0 {
+		s.sample()
+	}
+	return nil
+}
+
+// Run advances nsteps steps, timing the MD loop.
+func (s *Sim) Run(nsteps int) error {
+	s.Timer.Start("md_loop")
+	defer s.Timer.Stop("md_loop")
+	for i := 0; i < nsteps; i++ {
+		if err := s.Step(); err != nil {
+			return fmt.Errorf("md: step %d: %w", s.step, err)
+		}
+	}
+	return nil
+}
+
+// CurrentStep returns the number of completed steps.
+func (s *Sim) CurrentStep() int { return s.step }
+
+// Result exposes the most recent potential evaluation.
+func (s *Sim) Result() *core.Result { return &s.res }
+
+// PotentialEnergy evaluates the potential at the current positions
+// (refreshing forces), for callers needing E outside the step cadence.
+func (s *Sim) PotentialEnergy() (float64, error) {
+	if s.list == nil {
+		if err := s.rebuild(); err != nil {
+			return 0, err
+		}
+	}
+	if err := s.Pot.Compute(s.Sys.Pos, s.Sys.Types, s.Sys.N(), s.list, &s.Sys.Box, &s.res); err != nil {
+		return 0, err
+	}
+	return s.res.Energy, nil
+}
+
+func (s *Sim) rebuild() error {
+	sys := s.Sys
+	// Wrap coordinates before rebuilding so the cell search stays valid
+	// under long drifts.
+	for i := 0; i < sys.N(); i++ {
+		sys.Box.Wrap(sys.Pos[3*i : 3*i+3])
+	}
+	l, err := neighbor.Build(s.Opt.Spec, sys.Pos, sys.Types, sys.N(), &sys.Box)
+	if err != nil {
+		return err
+	}
+	s.list = l
+	s.tracker.Record(sys.Pos)
+	return nil
+}
+
+func (s *Sim) sample() {
+	sys := s.Sys
+	ke := sys.KineticEnergy()
+	vol := sys.Box.Volume()
+	trW := s.res.Virial[0] + s.res.Virial[4] + s.res.Virial[8]
+	nkt := float64(sys.N()) * units.Boltzmann * sys.Temperature()
+	p := (nkt + trW/3) / vol * units.PressureEVA3ToBar
+	// Stress along z: sigma_zz = (N kT/V + W_zz/V); report as bar.
+	szz := (nkt/3 + s.res.Virial[8]) / vol * units.PressureEVA3ToBar
+	s.Log = append(s.Log, Thermo{
+		Step:        s.step,
+		Kinetic:     ke,
+		Potential:   s.res.Energy,
+		Temperature: sys.Temperature(),
+		Pressure:    p,
+		BoxZ:        sys.Box.L[2],
+		StressZZ:    szz,
+	})
+}

@@ -1,0 +1,60 @@
+package md
+
+import "math"
+
+// Thermostat rescales velocities toward a target temperature after each
+// step. The paper's production runs are NVE after Boltzmann initialization;
+// thermostats are needed for the annealing stage of the Fig. 7 application
+// ("the first 10,000 steps are used for annealing at 300 K") and for
+// equilibrating the water boxes before RDF sampling.
+type Thermostat interface {
+	Apply(sys *System, dt float64)
+}
+
+// Berendsen is the weak-coupling thermostat: velocities are scaled by
+// sqrt(1 + dt/tau (T0/T - 1)) each step.
+type Berendsen struct {
+	TargetK float64
+	// TauPs is the coupling time in ps; larger is gentler.
+	TauPs float64
+}
+
+// Apply implements Thermostat.
+func (b *Berendsen) Apply(sys *System, dt float64) {
+	t := sys.Temperature()
+	if t <= 0 {
+		return
+	}
+	lam2 := 1 + dt/b.TauPs*(b.TargetK/t-1)
+	if lam2 < 0.25 {
+		lam2 = 0.25 // cap extreme rescaling during violent starts
+	}
+	lam := math.Sqrt(lam2)
+	for i := range sys.Vel {
+		sys.Vel[i] *= lam
+	}
+}
+
+// Rescale is the hard velocity-rescaling thermostat: every Every steps the
+// temperature is set exactly to the target.
+type Rescale struct {
+	TargetK float64
+	Every   int
+	count   int
+}
+
+// Apply implements Thermostat.
+func (r *Rescale) Apply(sys *System, dt float64) {
+	r.count++
+	if r.Every > 1 && r.count%r.Every != 0 {
+		return
+	}
+	t := sys.Temperature()
+	if t <= 0 {
+		return
+	}
+	f := math.Sqrt(r.TargetK / t)
+	for i := range sys.Vel {
+		sys.Vel[i] *= f
+	}
+}

@@ -1,0 +1,86 @@
+package mpi
+
+import "sync"
+
+// Iallreduce is the non-blocking all-reduce of Sec. 5.4: "we replace the
+// MPI_Allreduce with MPI_Iallreduce to further avoid the implicit
+// MPI_Barrier". Each rank contributes its values and immediately receives
+// a Request; Wait blocks until the reduction completes. Ranks can keep
+// integrating while the reduction progresses in the background.
+//
+// The implementation uses a shared slot per operation sequence number:
+// contributions accumulate under a mutex and the last contributor closes
+// the door. No rank blocks before Wait.
+type Request struct {
+	slot  *iarSlot
+	world *World
+}
+
+type iarSlot struct {
+	mu     sync.Mutex
+	done   chan struct{}
+	sum    []float64
+	joined int
+	size   int
+}
+
+// Iallreduce starts a non-blocking element-wise sum across all ranks.
+// Operations are matched by call order per rank: the k-th Iallreduce on
+// one rank matches the k-th on every other rank (the usual MPI ordering
+// contract for non-blocking collectives on a communicator).
+func (c *Comm) Iallreduce(values []float64) *Request {
+	seq := c.iarSeq
+	c.iarSeq++
+	w := c.world
+
+	w.iarMu.Lock()
+	slot, ok := w.iarSlots[seq]
+	if !ok {
+		slot = &iarSlot{done: make(chan struct{}), size: w.size}
+		w.iarSlots[seq] = slot
+	}
+	w.iarMu.Unlock()
+
+	slot.mu.Lock()
+	if slot.sum == nil {
+		slot.sum = make([]float64, len(values))
+	}
+	for i, v := range values {
+		slot.sum[i] += v
+	}
+	slot.joined++
+	last := slot.joined == slot.size
+	slot.mu.Unlock()
+
+	if last {
+		close(slot.done)
+		w.iarMu.Lock()
+		delete(w.iarSlots, seq)
+		w.iarMu.Unlock()
+	}
+	// Count it like a tree reduction would: one message per rank.
+	w.msgs.Add(1)
+	w.bytes.Add(int64(8 * len(values)))
+	return &Request{slot: slot, world: w}
+}
+
+// Wait blocks until the reduction completes and returns the summed values
+// (shared; callers must not mutate).
+func (r *Request) Wait() []float64 {
+	select {
+	case <-r.slot.done:
+	case <-r.world.abort:
+		panic(errAborted)
+	}
+	return r.slot.sum
+}
+
+// Done reports whether the reduction has completed without blocking.
+func (r *Request) Done() bool {
+	select {
+	case <-r.slot.done:
+		return true
+	default:
+		return false
+	}
+}

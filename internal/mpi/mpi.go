@@ -1,0 +1,272 @@
+// Package mpi is an in-process message-passing runtime: ranks are
+// goroutines, messages travel over buffered channels, and the collective
+// operations the paper relies on (Bcast for model staging, Barrier,
+// Allreduce and Iallreduce for thermodynamic output, Sec. 5.4 and 7.3) are
+// implemented on top. Message and byte counters are kept per world so
+// benchmarks can report communication volume the way the paper discusses
+// ghost-region traffic.
+//
+// This is the substitution for IBM Spectrum MPI on Summit: the protocol
+// structure (who sends what when) is identical; only the transport is
+// in-process.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// message is one point-to-point payload.
+type message struct {
+	tag     int
+	payload any
+}
+
+// World owns the channels and counters for a set of ranks.
+type World struct {
+	size  int
+	chans [][]chan message // chans[src][dst]
+	bar   barrier
+
+	// abort unblocks every pending Send/Recv when a rank dies, so one
+	// failing rank cannot deadlock the world.
+	abort     chan struct{}
+	abortOnce sync.Once
+
+	// iallreduce bookkeeping: sequenced slots per operation.
+	iarMu    sync.Mutex
+	iarSlots map[int]*iarSlot
+
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// NewWorld creates a world of p ranks.
+func NewWorld(p int) *World {
+	if p < 1 {
+		panic("mpi: world size must be >= 1")
+	}
+	w := &World{size: p, iarSlots: make(map[int]*iarSlot), abort: make(chan struct{})}
+	w.chans = make([][]chan message, p)
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, p)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan message, 256)
+		}
+	}
+	return w
+}
+
+// Abort unblocks all pending operations; they panic with an abort marker.
+func (w *World) Abort() {
+	w.abortOnce.Do(func() {
+		close(w.abort)
+		w.bar.abortAll()
+	})
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Messages returns the number of point-to-point messages sent so far.
+func (w *World) Messages() int64 { return w.msgs.Load() }
+
+// Bytes returns the estimated payload bytes sent so far.
+func (w *World) Bytes() int64 { return w.bytes.Load() }
+
+// ResetCounters zeroes the message counters.
+func (w *World) ResetCounters() {
+	w.msgs.Store(0)
+	w.bytes.Store(0)
+}
+
+// Run executes f on every rank concurrently and waits for all to finish.
+// A panic on any rank aborts the world (unblocking everyone else) and is
+// re-raised on the caller; abort-induced secondary panics are suppressed.
+func (w *World) Run(f func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					w.Abort()
+				}
+			}()
+			f(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	var first any
+	for r, p := range panics {
+		if p == nil || p == errAborted {
+			continue
+		}
+		if first == nil {
+			first = fmt.Sprintf("mpi: rank %d panicked: %v", r, p)
+		}
+	}
+	if first != nil {
+		panic(first)
+	}
+}
+
+// errAborted marks panics caused by World.Abort rather than rank logic.
+var errAborted = fmt.Errorf("mpi: world aborted")
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	world  *World
+	rank   int
+	iarSeq int
+}
+
+// Rank returns this rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers payload to dst with a tag. It blocks only if the channel
+// buffer is full (256 outstanding messages per pair).
+func (c *Comm) Send(dst, tag int, payload any) {
+	c.world.msgs.Add(1)
+	c.world.bytes.Add(payloadBytes(payload))
+	select {
+	case c.world.chans[c.rank][dst] <- message{tag: tag, payload: payload}:
+	case <-c.world.abort:
+		panic(errAborted)
+	}
+}
+
+// Recv blocks until a message with the given tag arrives from src. Messages
+// from the same source are delivered in order; a tag mismatch indicates a
+// protocol error and panics.
+func (c *Comm) Recv(src, tag int) any {
+	var m message
+	select {
+	case m = <-c.world.chans[src][c.rank]:
+	case <-c.world.abort:
+		panic(errAborted)
+	}
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	return m.payload
+}
+
+// SendRecv exchanges payloads with a partner rank without deadlock.
+func (c *Comm) SendRecv(partner, tag int, payload any) any {
+	c.Send(partner, tag, payload)
+	return c.Recv(partner, tag)
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.world.bar.wait(c.world.size)
+}
+
+// Bcast distributes root's payload to all ranks; every rank returns it.
+// This is the model-staging pattern of Sec. 7.3 ("first reading in with a
+// single MPI rank, and then broadcasting across all MPI tasks").
+func (c *Comm) Bcast(root, tag int, payload any) any {
+	if c.rank == root {
+		for dst := 0; dst < c.world.size; dst++ {
+			if dst != root {
+				c.Send(dst, tag, payload)
+			}
+		}
+		return payload
+	}
+	return c.Recv(root, tag)
+}
+
+// Allreduce sums slices element-wise across all ranks; every rank returns
+// the reduced copy. The implicit synchronization this carries is the
+// bottleneck Sec. 5.4 works around by reducing output frequency.
+func (c *Comm) Allreduce(tag int, values []float64) []float64 {
+	const root = 0
+	if c.rank == root {
+		sum := append([]float64(nil), values...)
+		for src := 1; src < c.world.size; src++ {
+			v := c.Recv(src, tag).([]float64)
+			for i := range sum {
+				sum[i] += v[i]
+			}
+		}
+		for dst := 1; dst < c.world.size; dst++ {
+			c.Send(dst, tag, sum)
+		}
+		return sum
+	}
+	c.Send(root, tag, values)
+	return c.Recv(root, tag).([]float64)
+}
+
+// payloadBytes estimates the wire size of common payload types.
+func payloadBytes(p any) int64 {
+	switch v := p.(type) {
+	case []float64:
+		return int64(8 * len(v))
+	case []float32:
+		return int64(4 * len(v))
+	case []int:
+		return int64(8 * len(v))
+	case []int64:
+		return int64(8 * len(v))
+	case []int32:
+		return int64(4 * len(v))
+	case []byte:
+		return int64(len(v))
+	case int, int64, float64:
+		return 8
+	default:
+		return 16 // opaque struct payloads: flat estimate
+	}
+}
+
+// barrier is a reusable generation-counting barrier.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	gen     int
+	aborted bool
+}
+
+func (b *barrier) wait(n int) {
+	b.mu.Lock()
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	gen := b.gen
+	b.count++
+	if b.count == n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen && !b.aborted {
+			b.cond.Wait()
+		}
+	}
+	aborted := b.aborted
+	b.mu.Unlock()
+	if aborted {
+		panic(errAborted)
+	}
+}
+
+// abortAll releases every waiter with the abort marker.
+func (b *barrier) abortAll() {
+	b.mu.Lock()
+	b.aborted = true
+	if b.cond != nil {
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,51 @@
+package neighbor
+
+// Tracker implements the skin-based rebuild criterion: the list built with
+// radius Rcut+Skin remains valid until some atom has moved more than Skin/2
+// since the build (two atoms approaching each other can then close at most
+// Skin of distance). The paper rebuilds on a fixed 50-step cadence with a
+// 2 A buffer; Tracker additionally provides the safety check so a
+// simulation can verify the cadence is conservative.
+type Tracker struct {
+	skin  float64
+	ref   []float64
+	valid bool
+}
+
+// NewTracker returns a tracker for the given skin distance.
+func NewTracker(skin float64) *Tracker {
+	return &Tracker{skin: skin}
+}
+
+// Record snapshots the positions at list-build time.
+func (t *Tracker) Record(pos []float64) {
+	if cap(t.ref) < len(pos) {
+		t.ref = make([]float64, len(pos))
+	}
+	t.ref = t.ref[:len(pos)]
+	copy(t.ref, pos)
+	t.valid = true
+}
+
+// NeedsRebuild reports whether any atom has moved more than Skin/2 since
+// the last Record. It returns true if Record was never called. Positions
+// are compared without periodic wrapping, so callers must Record before
+// wrapping coordinates.
+func (t *Tracker) NeedsRebuild(pos []float64) bool {
+	if !t.valid || len(pos) != len(t.ref) {
+		return true
+	}
+	lim2 := (t.skin / 2) * (t.skin / 2)
+	for i := 0; i < len(pos); i += 3 {
+		dx := pos[i] - t.ref[i]
+		dy := pos[i+1] - t.ref[i+1]
+		dz := pos[i+2] - t.ref[i+2]
+		if dx*dx+dy*dy+dz*dz > lim2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate forces the next NeedsRebuild to return true.
+func (t *Tracker) Invalidate() { t.valid = false }

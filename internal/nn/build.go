@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"deepmd-go/internal/tensor"
+)
+
+// NewEmbeddingNet builds the embedding net of Fig. 1(c): input is the
+// scalar s(r), hidden widths as given (the paper uses 25, 50, 100), with a
+// plain first layer and skip-connected doubling layers whenever a width
+// doubles (the paper's geometry always doubles after the first layer).
+// Weights are Xavier-initialized from rng.
+func NewEmbeddingNet[T tensor.Float](rng *rand.Rand, widths []int) *Net[T] {
+	n := &Net[T]{}
+	in := 1
+	for i, w := range widths {
+		kind := Plain
+		if i > 0 {
+			switch {
+			case w == 2*in:
+				kind = SkipDouble
+			case w == in:
+				kind = SkipSame
+			}
+		}
+		n.Layers = append(n.Layers, newLayer[T](rng, in, w, kind))
+		in = w
+	}
+	n.validate()
+	return n
+}
+
+// NewFittingNet builds the fitting net of Fig. 1(d): input is the flattened
+// descriptor, hidden widths as given (the paper uses 240, 240, 240) with
+// identity skips between equal widths, and a final linear layer to the
+// scalar atomic energy. atomEnergyBias is added as the bias of the head so
+// an untrained network already predicts the mean atomic energy.
+func NewFittingNet[T tensor.Float](rng *rand.Rand, inDim int, widths []int, atomEnergyBias T) *Net[T] {
+	n := &Net[T]{}
+	in := inDim
+	for i, w := range widths {
+		kind := Plain
+		if i > 0 && w == in {
+			kind = SkipSame
+		}
+		n.Layers = append(n.Layers, newLayer[T](rng, in, w, kind))
+		in = w
+	}
+	head := newLayer[T](rng, in, 1, Linear)
+	head.B[0] = atomEnergyBias
+	n.Layers = append(n.Layers, head)
+	n.validate()
+	return n
+}
+
+// newLayer returns a Xavier-initialized dense layer.
+func newLayer[T tensor.Float](rng *rand.Rand, in, out int, kind LayerKind) *Layer[T] {
+	l := &Layer[T]{
+		Kind: kind,
+		W:    tensor.NewMatrix[T](in, out),
+		B:    make([]T, out),
+	}
+	scale := math.Sqrt(2.0 / float64(in+out))
+	for i := range l.W.Data {
+		l.W.Data[i] = T(rng.NormFloat64() * scale)
+	}
+	for i := range l.B {
+		l.B[i] = T(rng.NormFloat64() * 0.01)
+	}
+	return l
+}
+
+// ConvertNet copies a network into the other precision. The mixed-precision
+// model stores all network parameters in single precision (Sec. 5.2.3).
+func ConvertNet[Dst, Src tensor.Float](src *Net[Src]) *Net[Dst] {
+	out := &Net[Dst]{}
+	for _, l := range src.Layers {
+		nl := &Layer[Dst]{
+			Kind: l.Kind,
+			W:    tensor.NewMatrix[Dst](l.W.Rows, l.W.Cols),
+			B:    make([]Dst, len(l.B)),
+		}
+		for i, v := range l.W.Data {
+			nl.W.Data[i] = Dst(v)
+		}
+		for i, v := range l.B {
+			nl.B[i] = Dst(v)
+		}
+		out.Layers = append(out.Layers, nl)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the network.
+func Clone[T tensor.Float](n *Net[T]) *Net[T] {
+	return ConvertNet[T](n)
+}

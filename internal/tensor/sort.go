@@ -1,0 +1,52 @@
+package tensor
+
+// RadixSortUint64 sorts keys in place using an LSD radix sort with 8-bit
+// digits. It is the CPU stand-in for the NVIDIA CUB block sort the paper
+// uses on the compressed 64-bit neighbor keys (Sec. 5.2.2): O(n) work,
+// branch-free inner loops, and it skips passes whose digit is constant
+// across all keys (common for the high type digits). buf must have
+// len(keys) capacity and is used as scratch; pass nil to allocate.
+func RadixSortUint64(keys []uint64, buf []uint64) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	if len(buf) < n {
+		buf = make([]uint64, n)
+	}
+	buf = buf[:n]
+	src, dst := keys, buf
+	for shift := uint(0); shift < 64; shift += 8 {
+		var count [256]int
+		for _, k := range src {
+			count[(k>>shift)&0xff]++
+		}
+		if count[(src[0]>>shift)&0xff] == n {
+			continue // all keys share this digit; pass is a no-op
+		}
+		sum := 0
+		for i, c := range count {
+			count[i] = sum
+			sum += c
+		}
+		for _, k := range src {
+			d := (k >> shift) & 0xff
+			dst[count[d]] = k
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+// IsSortedUint64 reports whether keys are in non-decreasing order.
+func IsSortedUint64(keys []uint64) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return false
+		}
+	}
+	return true
+}

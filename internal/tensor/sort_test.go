@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestRadixSortMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{0, 1, 2, 3, 100, 1000} {
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+		}
+		want := slices.Clone(keys)
+		slices.Sort(want)
+		RadixSortUint64(keys, nil)
+		if !slices.Equal(keys, want) {
+			t.Fatalf("radix sort mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestRadixSortSkipsConstantDigits(t *testing.T) {
+	// Keys that share high bytes (the common case for compressed neighbor
+	// keys, where the type digit is constant) must still sort correctly.
+	keys := []uint64{0xAB00000000000003, 0xAB00000000000001, 0xAB00000000000002}
+	RadixSortUint64(keys, nil)
+	if !IsSortedUint64(keys) {
+		t.Fatalf("not sorted: %x", keys)
+	}
+}
+
+func TestRadixSortProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		want := slices.Clone(keys)
+		slices.Sort(want)
+		buf := make([]uint64, len(keys))
+		RadixSortUint64(keys, buf)
+		return slices.Equal(keys, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadixSortStressAllDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		// Exercise every byte lane.
+		keys[i] = rng.Uint64() ^ (uint64(i) << 56)
+	}
+	RadixSortUint64(keys, nil)
+	if !IsSortedUint64(keys) {
+		t.Fatal("stress sort failed")
+	}
+}
+
+func BenchmarkRadixSortVsStdlib(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	const n = 1 << 14
+	orig := make([]uint64, n)
+	for i := range orig {
+		orig[i] = rng.Uint64()
+	}
+	buf := make([]uint64, n)
+	keys := make([]uint64, n)
+	b.Run("radix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(keys, orig)
+			RadixSortUint64(keys, buf)
+		}
+	})
+	b.Run("stdlib", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(keys, orig)
+			slices.Sort(keys)
+		}
+	})
+}

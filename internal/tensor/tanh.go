@@ -1,0 +1,50 @@
+package tensor
+
+import "math"
+
+// tanhFLOPs is the analytic FLOP charge per tanh evaluation. NVPROF counts
+// the actual instruction mix of the device tanh; we charge a fixed,
+// documented cost so FLOP totals are deterministic and comparable across
+// runs.
+const tanhFLOPs = 10
+
+// tanhT evaluates tanh for either float precision. The float64 path uses
+// math.Tanh. The float32 path uses a clamped Pade approximant: its absolute
+// error (< 2e-5 for |x| <= 4, < 2e-4 in the saturated tail where the
+// gradient vanishes) is below the noise already introduced by float32 GEMM
+// accumulation, and it avoids the float64 round trip, which is where the
+// mixed-precision speedup of Sec. 5.2.3 comes from on a CPU.
+func tanhT[T Float](x T) T {
+	switch v := any(x).(type) {
+	case float64:
+		return T(math.Tanh(v))
+	case float32:
+		return T(tanhf(v))
+	}
+	panic("unreachable")
+}
+
+// tanhf is a fast float32 tanh: Pade(6,6) approximant of tanh(x), exact at
+// 0, with the output clamped into [-1, 1] and the input clamped beyond
+// |x| = 4.97 where |tanh(x)| > 1 - 2e-4.
+func tanhf(x float32) float32 {
+	if x > 4.97 {
+		return 1
+	}
+	if x < -4.97 {
+		return -1
+	}
+	x2 := x * x
+	// tanh(x) = x*(135135 + 17325 x^2 + 378 x^4 + x^6) /
+	//           (135135 + 62370 x^2 + 3150 x^4 + 28 x^6)
+	p := x * (135135 + x2*(17325+x2*(378+x2)))
+	q := 135135 + x2*(62370+x2*(3150+x2*28))
+	y := p / q
+	if y > 1 {
+		return 1
+	}
+	if y < -1 {
+		return -1
+	}
+	return y
+}

@@ -1,0 +1,83 @@
+package train
+
+import (
+	"math"
+
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/nn"
+)
+
+// adam is the Adam optimizer (Kingma & Ba) over all model parameters,
+// with the standard bias-corrected first and second moments.
+type adam struct {
+	beta1, beta2, eps float64
+	t                 int
+	m, v              [][]float64 // one slice per parameter tensor
+}
+
+// newAdam sizes moment buffers for the model's parameter tensors in the
+// same deterministic order used by paramTensors.
+func newAdam(model *core.Model) *adam {
+	a := &adam{beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	for _, p := range paramTensors(model, nil) {
+		a.m = append(a.m, make([]float64, len(p.w)))
+		a.v = append(a.v, make([]float64, len(p.w)))
+	}
+	return a
+}
+
+// paramTensor pairs a parameter slice with its gradient slice.
+type paramTensor struct {
+	w, g []float64
+}
+
+// paramTensors walks the model's networks in deterministic order. grads
+// may be nil (then g fields are nil), which newAdam uses for sizing.
+func paramTensors(model *core.Model, grads *core.ModelGrads) []paramTensor {
+	var out []paramTensor
+	walk := func(net *nn.Net[float64], gr *nn.Grads[float64]) {
+		for li, l := range net.Layers {
+			var gw, gb []float64
+			if gr != nil {
+				gw = gr.DW[li].Data
+				gb = gr.DB[li]
+			}
+			out = append(out, paramTensor{w: l.W.Data, g: gw})
+			out = append(out, paramTensor{w: l.B, g: gb})
+		}
+	}
+	for ci, row := range model.Embed {
+		for tj, net := range row {
+			var gr *nn.Grads[float64]
+			if grads != nil {
+				gr = grads.Embed[ci][tj]
+			}
+			walk(net, gr)
+		}
+	}
+	for ci, net := range model.Fit {
+		var gr *nn.Grads[float64]
+		if grads != nil {
+			gr = grads.Fit[ci]
+		}
+		walk(net, gr)
+	}
+	return out
+}
+
+// apply performs one Adam update with learning rate lr.
+func (a *adam) apply(model *core.Model, grads *core.ModelGrads, lr float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for pi, p := range paramTensors(model, grads) {
+		m, v := a.m[pi], a.v[pi]
+		for k, g := range p.g {
+			m[k] = a.beta1*m[k] + (1-a.beta1)*g
+			v[k] = a.beta2*v[k] + (1-a.beta2)*g*g
+			mhat := m[k] / c1
+			vhat := v[k] / c2
+			p.w[k] -= lr * mhat / (math.Sqrt(vhat) + a.eps)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/lattice"
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/refpot"
+)
+
+// tinyModelAndData builds a small LJ-labeled dataset and a tiny model.
+func tinyModelAndData(t *testing.T, nframes int) (*core.Model, []Frame) {
+	t.Helper()
+	cfg := core.TinyConfig(1)
+	cfg.Rcut = 3.0
+	cfg.RcutSmth = 1.0
+	cfg.Skin = 0.5
+	base := lattice.FCC(2, 2, 2, 4.2)
+	oracle := refpot.NewLennardJones(0.05, 2.6, 3.0)
+	spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
+	frames, err := GenData(oracle, base, spec, nframes, 0.01, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias := FitEnergyBias(frames, 1)
+	cfg.AtomEnerBias = bias
+	model, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, frames
+}
+
+// The parameter gradient from ComputeWithGrads must match finite
+// differences through the whole model.
+func TestEnergyParameterGradient(t *testing.T) {
+	model, frames := tinyModelAndData(t, 2)
+	ev := core.NewEvaluator[float64](model)
+	f := &frames[0]
+	spec := neighbor.Spec{Rcut: model.Cfg.Rcut, Skin: model.Cfg.Skin, Sel: model.Cfg.Sel}
+	list, err := f.List(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads := core.NewModelGrads(model)
+	var res core.Result
+	if err := ev.ComputeWithGrads(f.Pos, f.Types, len(f.Types), list, &f.Box, &res, grads); err != nil {
+		t.Fatal(err)
+	}
+	energy := func() float64 {
+		var r core.Result
+		if err := ev.Compute(f.Pos, f.Types, len(f.Types), list, &f.Box, &r); err != nil {
+			t.Fatal(err)
+		}
+		return r.Energy
+	}
+	const h = 1e-6
+	check := func(name string, w []float64, g []float64, idx int) {
+		t.Helper()
+		orig := w[idx]
+		w[idx] = orig + h
+		ep := energy()
+		w[idx] = orig - h
+		em := energy()
+		w[idx] = orig
+		want := (ep - em) / (2 * h)
+		if math.Abs(g[idx]-want) > 2e-5*(1+math.Abs(want)) {
+			t.Fatalf("%s[%d]: analytic %g, finite diff %g", name, idx, g[idx], want)
+		}
+	}
+	// Sample weights from the embedding net (both layers) and fitting net.
+	emb := model.Embed[0][0]
+	eg := grads.Embed[0][0]
+	check("embed.L0.W", emb.Layers[0].W.Data, eg.DW[0].Data, 0)
+	check("embed.L2.W", emb.Layers[2].W.Data, eg.DW[2].Data, 5)
+	check("embed.L1.B", emb.Layers[1].B, eg.DB[1], 2)
+	fit := model.Fit[0]
+	fg := grads.Fit[0]
+	check("fit.L0.W", fit.Layers[0].W.Data, fg.DW[0].Data, 7)
+	last := len(fit.Layers) - 1
+	check("fit.head.B", fit.Layers[last].B, fg.DB[last], 0)
+}
+
+// Training must reduce both the loss and the validation energy RMSE.
+func TestTrainingReducesLoss(t *testing.T) {
+	model, frames := tinyModelAndData(t, 12)
+	rmse0, err := EnergyRMSE(model, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(model, Config{LR: 3e-3, BatchSize: 4, DecaySteps: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last float64
+	for i := 0; i < 120; i++ {
+		loss, err := tr.Step(frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %g -> %g", first, last)
+	}
+	rmse1, err := EnergyRMSE(model, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse1 >= rmse0 {
+		t.Fatalf("energy RMSE did not improve: %g -> %g", rmse0, rmse1)
+	}
+}
+
+// The shared-weights contract: the trainer's evaluator must see updated
+// weights without rebuilding (shareOrConvert aliasing).
+func TestTrainerSharesWeights(t *testing.T) {
+	model, frames := tinyModelAndData(t, 4)
+	tr, err := NewTrainer(model, Config{LR: 1e-2, BatchSize: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := model.Fit[0].Layers[0].W.Data[0]
+	if _, err := tr.Step(frames); err != nil {
+		t.Fatal(err)
+	}
+	after := model.Fit[0].Layers[0].W.Data[0]
+	if before == after {
+		t.Fatal("Adam update did not reach the master weights")
+	}
+	// And RMSE computed from the same model object must reflect updates.
+	if _, err := EnergyRMSE(model, frames); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitEnergyBias(t *testing.T) {
+	// Two frames with known per-type energies: E = 2*nA + 3*nB.
+	frames := []Frame{
+		{Types: []int{0, 0, 1}, Energy: 2*2 + 3*1},
+		{Types: []int{0, 1, 1}, Energy: 2*1 + 3*2},
+		{Types: []int{0, 0, 0}, Energy: 2 * 3},
+	}
+	bias := FitEnergyBias(frames, 2)
+	if math.Abs(bias[0]-2) > 1e-9 || math.Abs(bias[1]-3) > 1e-9 {
+		t.Fatalf("bias = %v, want [2 3]", bias)
+	}
+}
+
+func TestLRDecay(t *testing.T) {
+	model, _ := tinyModelAndData(t, 2)
+	tr, err := NewTrainer(model, Config{LR: 1e-3, DecayRate: 0.5, DecaySteps: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.LR(); got != 1e-3 {
+		t.Fatalf("initial LR %g", got)
+	}
+	tr.step = 10
+	if got := tr.LR(); math.Abs(got-5e-4) > 1e-12 {
+		t.Fatalf("decayed LR %g, want 5e-4", got)
+	}
+}
+
+func TestForceRMSEFinite(t *testing.T) {
+	model, frames := tinyModelAndData(t, 3)
+	rmse, err := ForceRMSE(model, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rmse) || rmse <= 0 {
+		t.Fatalf("force RMSE = %g", rmse)
+	}
+}
+
+func TestTrainerRejectsParallelModel(t *testing.T) {
+	cfg := core.TinyConfig(1)
+	cfg.Workers = 4
+	model, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTrainer(model, Config{}); err == nil {
+		t.Fatal("parallel model accepted for training")
+	}
+}
+
+func TestSolveSym(t *testing.T) {
+	// 2x2 system: [[2,1],[1,3]] x = [5, 10] -> x = [1, 3].
+	x := solveSym([]float64{2, 1, 1, 3}, []float64{5, 10}, 2)
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("solveSym = %v", x)
+	}
+	// Singular system must not blow up.
+	y := solveSym([]float64{1, 1, 1, 1}, []float64{2, 2}, 2)
+	for _, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("singular solve produced %v", y)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConversionConsistency(t *testing.T) {
+	// ForceToAccel and KineticToEV are reciprocal by construction: both
+	// convert between eV and amu*(A/ps)^2.
+	if got := ForceToAccel * KineticToEV; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ForceToAccel*KineticToEV = %v, want 1", got)
+	}
+}
+
+func TestBoltzmannMagnitude(t *testing.T) {
+	// kT at 300 K is the textbook 25.85 meV.
+	if kT := Boltzmann * 300; math.Abs(kT-0.02585) > 1e-4 {
+		t.Fatalf("kT(300K) = %g eV", kT)
+	}
+}
+
+func TestPressureConversion(t *testing.T) {
+	// 1 eV/A^3 = 160.2 GPa = 1.602e6 bar.
+	if math.Abs(PressureEVA3ToBar-1.602176634e6) > 1 {
+		t.Fatalf("pressure conversion %g", PressureEVA3ToBar)
+	}
+}
+
+func TestThermalVelocityScale(t *testing.T) {
+	// Hydrogen at 300 K: v_rms per component = sqrt(kT/m) ~ 15.7 A/ps.
+	v := math.Sqrt(Boltzmann * 300 / (MassH * KineticToEV))
+	if v < 14 || v > 17 {
+		t.Fatalf("H thermal velocity %g A/ps, expected ~15.7", v)
+	}
+}
+
+func TestMasses(t *testing.T) {
+	if MassO < 15.9 || MassO > 16.1 || MassH < 1.0 || MassH > 1.1 || MassCu < 63 || MassCu > 64 {
+		t.Fatal("atomic masses out of range")
+	}
+}
