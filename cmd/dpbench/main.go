@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|all
-//	        [-full] [-ranks N]
+//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|neighbor|all
+//	        [-full] [-ranks N] [-workers N]
 //
 // By default experiments run at Quick scale (seconds on one CPU core);
 // -full uses the paper's network geometry and larger systems.
@@ -20,9 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, all")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, neighbor, all")
 	full := flag.Bool("full", false, "use paper-scale networks and larger systems (slow on CPU)")
 	ranks := flag.Int("ranks", 4, "simulated ranks for setup/scaling experiments")
+	workers := flag.Int("workers", 8, "max goroutines for the neighbor experiment")
 	flag.Parse()
 
 	sc := experiments.Quick
@@ -121,6 +122,14 @@ func main() {
 			fmt.Println(txt)
 			return nil
 		},
+		"neighbor": func() error {
+			res, err := experiments.NeighborBuild(sc, *workers)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		},
 		"scaling": func() error {
 			counts := []int{1, 2, 4}
 			if *ranks > 4 {
@@ -134,7 +143,7 @@ func main() {
 			return nil
 		},
 	}
-	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
+	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "neighbor", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
 
 	var names []string
 	if *exp == "all" {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/md"
@@ -40,6 +41,7 @@ func main() {
 	netscale := flag.String("netscale", "tiny", "tiny | paper network geometry (ignored with -model)")
 	modelPath := flag.String("model", "", "load a trained model file instead of random weights")
 	ranks := flag.Int("ranks", 1, "simulated MPI ranks (domain decomposition)")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for evaluation and neighbor-list builds")
 	tempK := flag.Float64("temp", 330, "initial temperature (K)")
 	seed := flag.Int64("seed", 1, "random seed")
 	dump := flag.String("dump", "", "write final configuration as XYZ")
@@ -75,6 +77,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *ranks < 1 {
+		*ranks = 1
+	}
+	// Split the worker budget across ranks so rank evaluators do not
+	// oversubscribe the machine; applies to loaded models too.
+	perRank := max(1, *workers / *ranks)
+	model.Cfg.Workers = perRank
 	mcfg := model.Cfg
 	spec := neighbor.Spec{Rcut: mcfg.Rcut, Skin: mcfg.Skin, Sel: mcfg.Sel}
 
@@ -97,6 +106,7 @@ func main() {
 		stats, err := deepmd.RunParallel(sys, newPot, deepmd.ParallelOptions{
 			Ranks: *ranks, Dt: dt, Steps: *steps, Spec: spec,
 			RebuildEvery: 50, ThermoEvery: 20, UseIallreduce: true,
+			Workers: perRank,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -112,6 +122,7 @@ func main() {
 
 	sim, err := deepmd.NewSimulation(sys, newPot(), deepmd.SimOptions{
 		Dt: dt, Spec: spec, RebuildEvery: 50, ThermoEvery: 20,
+		Workers: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -128,9 +128,11 @@ type Box = neighbor.Box
 // NeighborList is a raw neighbor list consumed by Potential.Compute.
 type NeighborList = neighbor.List
 
-// BuildNeighborList constructs the periodic neighbor list of a system.
-func BuildNeighborList(sys *System, spec NeighborSpec) (*NeighborList, error) {
-	return neighbor.Build(spec, sys.Pos, sys.Types, sys.N(), &sys.Box)
+// BuildNeighborList constructs the periodic neighbor list of a system
+// using workers goroutines (pass Config.Workers to keep the build in step
+// with the parallel evaluator; <= 1 builds serially).
+func BuildNeighborList(sys *System, spec NeighborSpec, workers int) (*NeighborList, error) {
+	return neighbor.Build(spec, sys.Pos, sys.Types, sys.N(), &sys.Box, workers)
 }
 
 // Parallel (domain-decomposed) runs.
@@ -226,9 +228,10 @@ func NewRDF(typeA, typeB int, rmax float64, bins int) *RDF {
 	return analysis.NewRDF(typeA, typeB, rmax, bins)
 }
 
-// CNA classifies atoms into fcc/hcp/other (Fig. 7).
-func CNA(pos []float64, types []int, box *Box, rcut float64) ([]analysis.Structure, error) {
-	return analysis.CNA(pos, types, box, rcut)
+// CNA classifies atoms into fcc/hcp/other (Fig. 7) using workers
+// goroutines for the underlying neighbor search.
+func CNA(pos []float64, types []int, box *Box, rcut float64, workers int) ([]analysis.Structure, error) {
+	return analysis.CNA(pos, types, box, rcut, workers)
 }
 
 // Performance model.

@@ -34,7 +34,7 @@ func TestFacadeWorkflow(t *testing.T) {
 	}
 
 	// Mixed evaluator agrees with double on the same configuration.
-	list, err := BuildNeighborList(sys, SpecFor(cfg))
+	list, err := BuildNeighborList(sys, SpecFor(cfg), cfg.Workers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestFacadeBuilders(t *testing.T) {
 	if nano.N() < 300 {
 		t.Fatalf("nanocrystal too small: %d", nano.N())
 	}
-	cls, err := CNA(nano.Pos, nano.Types, &nano.Box, 3.08)
+	cls, err := CNA(nano.Pos, nano.Types, &nano.Box, 3.08, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

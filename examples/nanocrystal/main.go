@@ -32,7 +32,7 @@ func main() {
 	if *dumpPrefix != "" {
 		// Snapshot the pristine sample before the run for comparison.
 		sys := deepmd.BuildNanocrystal(30, 3, 17)
-		cls, err := deepmd.CNA(sys.Pos, sys.Types, &sys.Box, analysis.FCCCNACutoff(lattice.CuLatticeConst))
+		cls, err := deepmd.CNA(sys.Pos, sys.Types, &sys.Box, analysis.FCCCNACutoff(lattice.CuLatticeConst), 1)
 		if err != nil {
 			log.Fatal(err)
 		}

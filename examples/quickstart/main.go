@@ -56,7 +56,7 @@ func main() {
 	}
 
 	// Show the mixed-precision agreement on the final configuration.
-	list, err := deepmd.BuildNeighborList(sys, spec)
+	list, err := deepmd.BuildNeighborList(sys, spec, cfg.Workers)
 	if err != nil {
 		log.Fatal(err)
 	}

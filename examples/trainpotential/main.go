@@ -68,7 +68,7 @@ func main() {
 
 	// Compare cohesive energies on the perfect lattice.
 	perfect := lattice.FCC(4, 4, 4, lattice.CuLatticeConst)
-	list, err := neighbor.Build(spec, perfect.Pos, perfect.Types, perfect.N(), &perfect.Box)
+	list, err := neighbor.Build(spec, perfect.Pos, perfect.Types, perfect.N(), &perfect.Box, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module deepmd-go
+
+go 1.24.0

@@ -75,7 +75,7 @@ func TestRDFMaxDeviation(t *testing.T) {
 func TestCNAPerfectFCC(t *testing.T) {
 	a := lattice.CuLatticeConst
 	sys := lattice.FCC(4, 4, 4, a)
-	cls, err := CNA(sys.Pos, sys.Types, &sys.Box, FCCCNACutoff(a))
+	cls, err := CNA(sys.Pos, sys.Types, &sys.Box, FCCCNACutoff(a), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestCNAPerfectHCP(t *testing.T) {
 		}
 	}
 	box := &neighbor.Box{L: [3]float64{Lx, Ly, Lz}}
-	cls, err := CNA(pos, types, box, FCCCNACutoff(a*math.Sqrt2)) // cutoff from nn distance
+	cls, err := CNA(pos, types, box, FCCCNACutoff(a*math.Sqrt2), 1) // cutoff from nn distance
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestCNADisordered(t *testing.T) {
 	for i := range pos {
 		pos[i] = rng.Float64() * 15
 	}
-	cls, err := CNA(pos, types, box, 3.0)
+	cls, err := CNA(pos, types, box, 3.0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestCNADisordered(t *testing.T) {
 func TestCNANanocrystal(t *testing.T) {
 	a := lattice.CuLatticeConst
 	s := lattice.Nanocrystal(28, 2, a, 2.2, 11)
-	cls, err := CNA(s.Pos, s.Types, &s.Box, FCCCNACutoff(a))
+	cls, err := CNA(s.Pos, s.Types, &s.Box, FCCCNACutoff(a), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,13 +37,14 @@ func (s Structure) String() string {
 //
 // An atom is fcc if it has exactly 12 neighbors, all with (4 2 1)
 // signatures; hcp if it has 12 neighbors with six (4 2 1) and six (4 2 2)
-// signatures; everything else is Other.
-func CNA(pos []float64, types []int, box *neighbor.Box, rcut float64) ([]Structure, error) {
+// signatures; everything else is Other. The neighbor search uses workers
+// goroutines (<= 1 is serial).
+func CNA(pos []float64, types []int, box *neighbor.Box, rcut float64, workers int) ([]Structure, error) {
 	n := len(types)
 	spec := neighbor.Spec{Rcut: rcut, Sel: []int{64}}
 	// CNA ignores chemical types: search with a single-type view.
 	ones := make([]int, n)
-	list, err := neighbor.Build(spec, pos, ones, n, box)
+	list, err := neighbor.Build(spec, pos, ones, n, box, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -46,7 +46,10 @@ type Config struct {
 	// once; bounds peak memory independent of system size.
 	ChunkSize int
 	// Workers is the number of goroutines evaluating chunks concurrently
-	// (the CPU stand-in for GPU parallelism). <= 1 means serial.
+	// (the CPU stand-in for GPU parallelism). <= 1 means serial. Pass the
+	// same value to neighbor.Build (md.Options.Workers /
+	// domain.Options.Workers thread it for the MD engines) so the list
+	// rebuild keeps pace with the parallel evaluator.
 	Workers int
 	// Seed initializes the network weights.
 	Seed int64

@@ -23,7 +23,7 @@ func testSystem(t *testing.T, seed int64, n int, cfg *Config) ([]float64, []int,
 		}
 		types[i] = rng.Intn(cfg.NumTypes())
 	}
-	list, err := neighbor.Build(neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}, pos, types, n, box)
+	list, err := neighbor.Build(neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}, pos, types, n, box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestVirialIsStrainDerivative(t *testing.T) {
 			sp[i] = v * (1 + eps)
 		}
 		sbox := &neighbor.Box{L: [3]float64{box.L[0] * (1 + eps), box.L[1] * (1 + eps), box.L[2] * (1 + eps)}}
-		slist, err := neighbor.Build(neighbor.Spec{Rcut: m.Cfg.Rcut, Skin: m.Cfg.Skin, Sel: m.Cfg.Sel}, sp, types, 24, sbox)
+		slist, err := neighbor.Build(neighbor.Spec{Rcut: m.Cfg.Rcut, Skin: m.Cfg.Skin, Sel: m.Cfg.Sel}, sp, types, 24, sbox, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +210,7 @@ func TestTranslationInvarianceAndForceSum(t *testing.T) {
 		shifted[3*i+1] = pos[3*i+1] - 0.72
 		shifted[3*i+2] = pos[3*i+2] + 0.11
 	}
-	slist, err := neighbor.Build(neighbor.Spec{Rcut: m.Cfg.Rcut, Skin: m.Cfg.Skin, Sel: m.Cfg.Sel}, shifted, types, 36, box)
+	slist, err := neighbor.Build(neighbor.Spec{Rcut: m.Cfg.Rcut, Skin: m.Cfg.Skin, Sel: m.Cfg.Sel}, shifted, types, 36, box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func TestRotationInvariance(t *testing.T) {
 		types[i] = rng.Intn(2)
 	}
 	spec := neighbor.Spec{Rcut: m.Cfg.Rcut, Skin: m.Cfg.Skin, Sel: m.Cfg.Sel}
-	list, err := neighbor.Build(spec, pos, types, n, nil)
+	list, err := neighbor.Build(spec, pos, types, n, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestRotationInvariance(t *testing.T) {
 		p := rot([3]float64{pos[3*i], pos[3*i+1], pos[3*i+2]})
 		rpos[3*i], rpos[3*i+1], rpos[3*i+2] = p[0], p[1], p[2]
 	}
-	rlist, err := neighbor.Build(spec, rpos, types, n, nil)
+	rlist, err := neighbor.Build(spec, rpos, types, n, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestPermutationInvariance(t *testing.T) {
 		copy(ppos[3*i:3*i+3], pos[3*j:3*j+3])
 		ptypes[i] = types[j]
 	}
-	plist, err := neighbor.Build(neighbor.Spec{Rcut: m.Cfg.Rcut, Skin: m.Cfg.Skin, Sel: m.Cfg.Sel}, ppos, ptypes, n, box)
+	plist, err := neighbor.Build(neighbor.Spec{Rcut: m.Cfg.Rcut, Skin: m.Cfg.Skin, Sel: m.Cfg.Sel}, ppos, ptypes, n, box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +440,7 @@ func TestEvaluatorRejectsBadTypes(t *testing.T) {
 	ev := NewEvaluator[float64](m)
 	pos := []float64{0, 0, 0, 2, 0, 0}
 	types := []int{0, 5}
-	list, err := neighbor.Build(neighbor.Spec{Rcut: m.Cfg.Rcut, Skin: 0, Sel: m.Cfg.Sel}, pos, types, 2, nil)
+	list, err := neighbor.Build(neighbor.Spec{Rcut: m.Cfg.Rcut, Skin: 0, Sel: m.Cfg.Sel}, pos, types, 2, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -486,7 +486,7 @@ func TestCoreRepulsionPrior(t *testing.T) {
 	// Two atoms closer than RepRcut: energy must exceed the prior-free
 	// model and push them apart.
 	mkList := func(pos []float64) *neighbor.List {
-		l, err := neighbor.Build(neighbor.Spec{Rcut: cfg.Rcut, Sel: cfg.Sel}, pos, []int{0, 0}, 2, nil)
+		l, err := neighbor.Build(neighbor.Spec{Rcut: cfg.Rcut, Sel: cfg.Sel}, pos, []int{0, 0}, 2, nil, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -566,7 +566,7 @@ func TestForceRotationCovariance(t *testing.T) {
 		types[i] = rng.Intn(2)
 	}
 	spec := neighbor.Spec{Rcut: m.Cfg.Rcut, Skin: m.Cfg.Skin, Sel: m.Cfg.Sel}
-	list, err := neighbor.Build(spec, pos, types, n, nil)
+	list, err := neighbor.Build(spec, pos, types, n, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -601,7 +601,7 @@ func TestForceRotationCovariance(t *testing.T) {
 		p := apply(pos, i)
 		rpos[3*i], rpos[3*i+1], rpos[3*i+2] = p[0], p[1], p[2]
 	}
-	rlist, err := neighbor.Build(spec, rpos, types, n, nil)
+	rlist, err := neighbor.Build(spec, rpos, types, n, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,7 +75,7 @@ func buildTestSystem(t *testing.T, seed int64, n int, cfg Config, box *neighbor.
 		}
 		types[i] = rng.Intn(len(cfg.Sel))
 	}
-	list, err := neighbor.Build(neighbor.Spec{Rcut: cfg.Rcut, Skin: 1.0, Sel: cfg.Sel}, pos, types, n, box)
+	list, err := neighbor.Build(neighbor.Spec{Rcut: cfg.Rcut, Skin: 1.0, Sel: cfg.Sel}, pos, types, n, box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestEnvironmentRowValues(t *testing.T) {
 	cfg := Config{Rcut: 4.0, RcutSmth: 3.0, Sel: []int{4}}
 	pos := []float64{0, 0, 0, 2, 0, 0} // neighbor at distance 2 along x
 	types := []int{0, 0}
-	list, err := neighbor.Build(neighbor.Spec{Rcut: cfg.Rcut, Sel: cfg.Sel}, pos, types, 2, nil)
+	list, err := neighbor.Build(neighbor.Spec{Rcut: cfg.Rcut, Sel: cfg.Sel}, pos, types, 2, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

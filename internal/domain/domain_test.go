@@ -77,7 +77,7 @@ func ljFullSystem(seed int64) (*md.System, func() md.Potential, neighbor.Spec) {
 // serialForces computes reference forces with the serial path (PBC box).
 func serialForces(t *testing.T, sys *md.System, pot md.Potential, spec neighbor.Spec) []float64 {
 	t.Helper()
-	list, err := neighbor.Build(spec, sys.Pos, sys.Types, sys.N(), &sys.Box)
+	list, err := neighbor.Build(spec, sys.Pos, sys.Types, sys.N(), &sys.Box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,10 @@ type Options struct {
 	// GatherForces collects final per-atom forces by global id on rank 0
 	// (used by verification tests; costs one gather).
 	GatherForces bool
+	// Workers is the per-rank goroutine count for neighbor-list
+	// construction (on a real machine this is the node's core budget per
+	// MPI rank). <= 1 builds serially.
+	Workers int
 }
 
 // Stats is the result of a parallel run.
@@ -150,7 +154,7 @@ func runRank(c *mpi.Comm, full *md.System, pot md.Potential, opt Options, grid [
 		}
 		rs.migrate()
 		rs.borders()
-		l, err := neighbor.Build(opt.Spec, rs.pos, rs.typ, rs.nloc, nil)
+		l, err := neighbor.Build(opt.Spec, rs.pos, rs.typ, rs.nloc, nil, opt.Workers)
 		if err != nil {
 			return err
 		}

@@ -81,7 +81,7 @@ func waterBox(cfg *core.Config, nx int, seed int64) ([]float64, []int, *neighbor
 		}
 	}
 	spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
-	list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box)
+	list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box, cfg.Workers)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -98,7 +98,7 @@ func copperBox(cfg *core.Config, nx int) ([]float64, []int, *neighbor.List, *nei
 		}
 	}
 	spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
-	list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box)
+	list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box, cfg.Workers)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}

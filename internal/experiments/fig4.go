@@ -104,6 +104,7 @@ func Fig4(sc Scale) (*Fig4Result, error) {
 			RebuildEvery: 10,
 			ThermoEvery:  20,
 			Thermostat:   &md.Berendsen{TargetK: 330, TauPs: 0.05},
+			Workers:      cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

@@ -54,7 +54,7 @@ func Fig7(sc Scale) (*Fig7Result, error) {
 
 	res := &Fig7Result{Atoms: sys.N(), Grains: grains}
 	cna := func() (map[analysis.Structure]int, error) {
-		cls, err := analysis.CNA(sys.Pos, sys.Types, &sys.Box, analysis.FCCCNACutoff(lattice.CuLatticeConst))
+		cls, err := analysis.CNA(sys.Pos, sys.Types, &sys.Box, analysis.FCCCNACutoff(lattice.CuLatticeConst), 1)
 		if err != nil {
 			return nil, err
 		}

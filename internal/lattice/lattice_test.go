@@ -16,7 +16,7 @@ func TestFCCGeometry(t *testing.T) {
 	}
 	// Nearest neighbor distance must be a/sqrt(2) with 12 neighbors.
 	spec := neighbor.Spec{Rcut: a/math.Sqrt2 + 0.1, Sel: []int{16}}
-	list, err := neighbor.Build(spec, s.Pos, s.Types, s.N(), &s.Box)
+	list, err := neighbor.Build(spec, s.Pos, s.Types, s.N(), &s.Box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestNanocrystal(t *testing.T) {
 	}
 	// Minimum separation must be respected.
 	spec := neighbor.Spec{Rcut: 2.0, Sel: []int{32}}
-	list, err := neighbor.Build(spec, s.Pos, s.Types, s.N(), &s.Box)
+	list, err := neighbor.Build(spec, s.Pos, s.Types, s.N(), &s.Box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

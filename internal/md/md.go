@@ -149,6 +149,10 @@ type Options struct {
 	// SafetyCheck verifies the skin criterion at every rebuild and
 	// returns an error if the cadence was too lax.
 	SafetyCheck bool
+	// Workers is the goroutine count for neighbor-list construction
+	// (thread core.Config.Workers here so the rebuild keeps pace with the
+	// parallel evaluator). <= 1 builds serially.
+	Workers int
 }
 
 // Sim drives one serial MD run.
@@ -297,7 +301,7 @@ func (s *Sim) rebuild() error {
 	for i := 0; i < sys.N(); i++ {
 		sys.Box.Wrap(sys.Pos[3*i : 3*i+3])
 	}
-	l, err := neighbor.Build(s.Opt.Spec, sys.Pos, sys.Types, sys.N(), &sys.Box)
+	l, err := neighbor.Build(s.Opt.Spec, sys.Pos, sys.Types, sys.N(), &sys.Box, s.Opt.Workers)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,222 @@
+package neighbor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// minBlock is the atom-block granularity of the fill pool: large enough
+// that scheduling overhead vanishes, small enough to load-balance dense
+// regions (a block is one work unit for one goroutine).
+const minBlock = 256
+
+// Build constructs the raw neighbor list for the first nloc atoms among the
+// nall positions (3*nall floats, xyz per atom), using up to workers
+// goroutines. workers <= 1 runs serially; the output is bit-identical for
+// every worker count. If box is non-nil, distances use the minimum image
+// convention (serial periodic mode, which requires every box edge >=
+// 2*(Rcut+Skin)); if box is nil, displacements are taken directly, which is
+// the domain-decomposed mode where positions already include ghost images.
+func Build(spec Spec, pos []float64, types []int, nloc int, box *Box, workers int) (*List, error) {
+	nall := len(pos) / 3
+	if len(types) != nall {
+		return nil, fmt.Errorf("neighbor: %d types for %d atoms", len(types), nall)
+	}
+	if nloc > nall {
+		return nil, fmt.Errorf("neighbor: nloc %d > nall %d", nloc, nall)
+	}
+	rc := spec.RcutBuild()
+	if box != nil {
+		for k := 0; k < 3; k++ {
+			if box.L[k] < 2*rc {
+				return nil, fmt.Errorf("neighbor: box edge %d (%.3f) < 2*rcut_build (%.3f); minimum image invalid", k, box.L[k], 2*rc)
+			}
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Clamp each phase to its own work size: binning runs over all atoms
+	// (locals + ghosts), row filling over locals only.
+	binWorkers := clampWorkers(workers, nall)
+	fillWorkers := clampWorkers(workers, nloc)
+	l := &List{Nloc: nloc, Entries: make([][]Entry, nloc)}
+	if useCells(pos, nall, box, rc) {
+		g := binAtoms(pos, nall, box, rc, binWorkers)
+		fillRows(l, fillWorkers, cellFiller(g, spec, pos, types, box))
+	} else {
+		fillRows(l, fillWorkers, allPairsFiller(spec, pos, types, box))
+	}
+	return l, nil
+}
+
+// clampWorkers bounds a worker count by the number of minBlock-sized work
+// units n atoms provide.
+func clampWorkers(workers, n int) int {
+	if nb := (n + minBlock - 1) / minBlock; workers > nb && nb > 0 {
+		return nb
+	}
+	return workers
+}
+
+// rowFiller appends atom i's neighbors to dst in a deterministic scan
+// order and returns the extended slice.
+type rowFiller func(i int, dst []Entry) []Entry
+
+// scratch is one worker's private output: every row it produced,
+// concatenated, with the owning atom and row length recorded so the merge
+// can place each row at its packed offset.
+type scratch struct {
+	entries []Entry
+	atoms   []int32
+	lens    []int32
+}
+
+// fillRows runs the goroutine pool: workers claim contiguous atom blocks
+// from an atomic cursor, fill rows into per-worker scratch buffers, and
+// the rows are then merged into one packed arena with Entries[i] as
+// zero-copy views. Because each row is self-contained and filled in the
+// same scan order regardless of which worker claims it, the merged list is
+// bit-identical to a serial build.
+func fillRows(l *List, workers int, fill rowFiller) {
+	nloc := l.Nloc
+	if nloc == 0 {
+		return
+	}
+	if workers <= 1 {
+		// Serial fast path: one scratch, no pool.
+		sc := &scratch{}
+		fillBlock(sc, 0, nloc, fill)
+		mergeScratch(l, []*scratch{sc})
+		return
+	}
+	nblocks := (nloc + minBlock - 1) / minBlock
+	scratches := make([]*scratch, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		scratches[w] = &scratch{}
+		wg.Add(1)
+		go func(sc *scratch) {
+			defer wg.Done()
+			for {
+				b := int(cursor.Add(1)) - 1
+				if b >= nblocks {
+					return
+				}
+				lo := b * minBlock
+				fillBlock(sc, lo, min(lo+minBlock, nloc), fill)
+			}
+		}(scratches[w])
+	}
+	wg.Wait()
+	mergeScratch(l, scratches)
+}
+
+func fillBlock(sc *scratch, lo, hi int, fill rowFiller) {
+	for i := lo; i < hi; i++ {
+		start := len(sc.entries)
+		sc.entries = fill(i, sc.entries)
+		sc.atoms = append(sc.atoms, int32(i))
+		sc.lens = append(sc.lens, int32(len(sc.entries)-start))
+	}
+}
+
+// mergeScratch packs every worker's rows into one flat arena and points
+// Entries[i] at its slice. Rows are capped (three-index slices) so an
+// accidental append by a consumer cannot clobber the next atom's row.
+func mergeScratch(l *List, scratches []*scratch) {
+	off := make([]int, l.Nloc+1)
+	for _, sc := range scratches {
+		for k, a := range sc.atoms {
+			off[a+1] = int(sc.lens[k])
+		}
+	}
+	for i := 0; i < l.Nloc; i++ {
+		off[i+1] += off[i]
+	}
+	arena := make([]Entry, off[l.Nloc])
+	var wg sync.WaitGroup
+	for _, sc := range scratches {
+		if len(sc.atoms) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sc *scratch) {
+			defer wg.Done()
+			pos := 0
+			for k, a := range sc.atoms {
+				n := int(sc.lens[k])
+				copy(arena[off[a]:off[a]+n], sc.entries[pos:pos+n])
+				pos += n
+			}
+		}(sc)
+	}
+	wg.Wait()
+	for i := 0; i < l.Nloc; i++ {
+		l.Entries[i] = arena[off[i]:off[i+1]:off[i+1]]
+	}
+}
+
+// allPairsFiller scans every other atom: the O(N^2) fallback for boxes too
+// small for a 3x3x3 cell decomposition.
+func allPairsFiller(spec Spec, pos []float64, types []int, box *Box) rowFiller {
+	nall := len(pos) / 3
+	rc2 := spec.RcutBuild() * spec.RcutBuild()
+	return func(i int, dst []Entry) []Entry {
+		for j := 0; j < nall; j++ {
+			if j == i {
+				continue
+			}
+			d := displacement(pos, i, j, box)
+			r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
+			if r2 < rc2 {
+				dst = append(dst, Entry{Type: types[j], Dist: math.Sqrt(r2), Index: j})
+			}
+		}
+		return dst
+	}
+}
+
+// cellFiller scans the 3x3x3 cell neighborhood of atom i's cell, visiting
+// candidate atoms in cell-scan order (the counting sort makes that order
+// ascend within each cell, so rows are deterministic).
+func cellFiller(g *grid, spec Spec, pos []float64, types []int, box *Box) rowFiller {
+	rc2 := spec.RcutBuild() * spec.RcutBuild()
+	nc := g.nc
+	return func(i int, dst []Entry) []Entry {
+		ci := int(g.cellOf[i])
+		cx := ci / (nc[1] * nc[2])
+		cy := (ci / nc[2]) % nc[1]
+		cz := ci % nc[2]
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					nx, ny, nz := cx+dx, cy+dy, cz+dz
+					if box != nil {
+						nx = (nx + nc[0]) % nc[0]
+						ny = (ny + nc[1]) % nc[1]
+						nz = (nz + nc[2]) % nc[2]
+					} else if nx < 0 || nx >= nc[0] || ny < 0 || ny >= nc[1] || nz < 0 || nz >= nc[2] {
+						continue
+					}
+					id := (nx*nc[1]+ny)*nc[2] + nz
+					for s := g.count[id]; s < g.count[id+1]; s++ {
+						j := int(g.order[s])
+						if j == i {
+							continue
+						}
+						d := displacement(pos, i, j, box)
+						r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
+						if r2 < rc2 {
+							dst = append(dst, Entry{Type: types[j], Dist: math.Sqrt(r2), Index: j})
+						}
+					}
+				}
+			}
+		}
+		return dst
+	}
+}

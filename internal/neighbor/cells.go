@@ -1,0 +1,195 @@
+package neighbor
+
+import (
+	"math"
+	"sync"
+)
+
+// grid is the linked-cell decomposition of one configuration: cell counts
+// per dimension, cell widths, and the counting-sorted atom order. In
+// periodic mode cells tile the box and neighbor cells wrap; in domain mode
+// cells tile the bounding box of all atoms (locals + ghosts) without
+// wrapping.
+type grid struct {
+	lo     [3]float64
+	nc     [3]int
+	cw     [3]float64
+	wrap   *Box // nil in domain mode
+	cellOf []int32
+	// count is the exclusive prefix sum of per-cell populations; the atoms
+	// of cell c are order[count[c]:count[c+1]], in ascending atom index.
+	count []int32
+	order []int32
+}
+
+func (g *grid) ncells() int { return g.nc[0] * g.nc[1] * g.nc[2] }
+
+// cellIndex maps a position to its flattened cell id.
+func (g *grid) cellIndex(pos []float64, a int) int32 {
+	var c [3]int
+	for k := 0; k < 3; k++ {
+		v := pos[3*a+k] - g.lo[k]
+		if g.wrap != nil {
+			v -= g.wrap.L[k] * math.Floor(v/g.wrap.L[k])
+		}
+		ci := int(v / g.cw[k])
+		if ci >= g.nc[k] {
+			ci = g.nc[k] - 1
+		}
+		if ci < 0 {
+			ci = 0
+		}
+		c[k] = ci
+	}
+	return int32((c[0]*g.nc[1]+c[1])*g.nc[2] + c[2])
+}
+
+// useCells decides whether a linked-cell search is worthwhile: the domain
+// must hold at least 3 cells per dimension, otherwise the all-pairs scan is
+// both simpler and as fast.
+func useCells(pos []float64, nall int, box *Box, rc float64) bool {
+	if nall < 64 {
+		return false
+	}
+	var ext [3]float64
+	if box != nil {
+		ext = box.L
+	} else {
+		lo, hi := bounds(pos)
+		for k := 0; k < 3; k++ {
+			ext[k] = hi[k] - lo[k]
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if int(ext[k]/rc) < 3 {
+			return false
+		}
+	}
+	return true
+}
+
+func bounds(pos []float64) (lo, hi [3]float64) {
+	lo = [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	hi = [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	for i := 0; i < len(pos); i += 3 {
+		for k := 0; k < 3; k++ {
+			v := pos[i+k]
+			if v < lo[k] {
+				lo[k] = v
+			}
+			if v > hi[k] {
+				hi[k] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// binAtoms buckets all atoms into cells with a counting sort, computing
+// the per-atom cell assignment in parallel across contiguous atom ranges.
+// The resulting order array lists each cell's atoms in ascending atom
+// index — identical to a serial scan — because workers own disjoint
+// ascending ranges and scatter through per-(worker, cell) offsets.
+func binAtoms(pos []float64, nall int, box *Box, rc float64, workers int) *grid {
+	g := &grid{wrap: box}
+	var ext [3]float64
+	if box != nil {
+		ext = box.L
+	} else {
+		var hi [3]float64
+		g.lo, hi = bounds(pos)
+		for k := 0; k < 3; k++ {
+			ext[k] = hi[k] - g.lo[k] + 1e-9
+		}
+	}
+	for k := 0; k < 3; k++ {
+		g.nc[k] = int(ext[k] / rc)
+		if g.nc[k] < 1 {
+			g.nc[k] = 1
+		}
+		g.cw[k] = ext[k] / float64(g.nc[k])
+	}
+	ncells := g.ncells()
+	g.cellOf = make([]int32, nall)
+	g.count = make([]int32, ncells+1)
+	g.order = make([]int32, nall)
+
+	if workers <= 1 || nall < 2*minBlock {
+		for a := 0; a < nall; a++ {
+			id := g.cellIndex(pos, a)
+			g.cellOf[a] = id
+			g.count[id+1]++
+		}
+		for c := 1; c <= ncells; c++ {
+			g.count[c] += g.count[c-1]
+		}
+		next := make([]int32, ncells)
+		copy(next, g.count[:ncells])
+		for a := 0; a < nall; a++ {
+			id := g.cellOf[a]
+			g.order[next[id]] = int32(a)
+			next[id]++
+		}
+		return g
+	}
+
+	// Parallel counting sort. Phase 1: each worker classifies a contiguous
+	// atom range and histograms its cells.
+	hist := make([][]int32, workers)
+	chunk := (nall + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, nall)
+		if lo >= hi {
+			hist[w] = make([]int32, ncells)
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := make([]int32, ncells)
+			for a := lo; a < hi; a++ {
+				id := g.cellIndex(pos, a)
+				g.cellOf[a] = id
+				h[id]++
+			}
+			hist[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Phase 2: global prefix sum over cells, then per-worker scatter
+	// offsets — worker w writes cell c's atoms starting after the atoms
+	// that lower-ranked workers (= lower atom indices) put there.
+	var run int32
+	for c := 0; c < ncells; c++ {
+		g.count[c] = run
+		for w := 0; w < workers; w++ {
+			h := hist[w][c]
+			hist[w][c] = run
+			run += h
+		}
+	}
+	g.count[ncells] = run
+
+	// Phase 3: scatter atoms into order, each worker through its own
+	// offsets so no synchronization is needed.
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, nall)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			off := hist[w]
+			for a := lo; a < hi; a++ {
+				id := g.cellOf[a]
+				g.order[off[id]] = int32(a)
+				off[id]++
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return g
+}

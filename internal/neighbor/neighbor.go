@@ -15,13 +15,14 @@
 //
 // Construction itself uses a linked-cell search: O(N) in the number of
 // atoms, with an all-pairs fallback for boxes too small to hold 3x3x3
-// cells.
+// cells. Both searches are parallel: atoms are binned into cells
+// concurrently and per-atom rows are filled by a goroutine pool over
+// contiguous atom blocks, each worker appending into a private scratch
+// buffer that is then merged into one packed entry arena (see build.go).
+// The output is bit-identical for every worker count.
 package neighbor
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
 // Box is an orthorhombic periodic simulation box with edge lengths L.
 type Box struct {
@@ -82,7 +83,9 @@ type Entry struct {
 
 // List is a raw neighbor list for the first Nloc atoms of a configuration.
 // Entries appear in cell-scan order (unsorted); this is exactly the layout
-// the baseline DeePMD-kit consumed.
+// the baseline DeePMD-kit consumed. Rows are views into one packed arena
+// (built by Build), so the whole list is two allocations regardless of
+// atom count; rows must not be appended to in place.
 type List struct {
 	Nloc    int
 	Entries [][]Entry
@@ -99,97 +102,6 @@ func (l *List) MaxNeighbors() int {
 	return m
 }
 
-// Build constructs the raw neighbor list for the first nloc atoms among the
-// nall positions (3*nall floats, xyz per atom). If box is non-nil,
-// distances use the minimum image convention (serial periodic mode, which
-// requires every box edge >= 2*(Rcut+Skin)); if box is nil, displacements
-// are taken directly, which is the domain-decomposed mode where positions
-// already include ghost images.
-func Build(spec Spec, pos []float64, types []int, nloc int, box *Box) (*List, error) {
-	nall := len(pos) / 3
-	if len(types) != nall {
-		return nil, fmt.Errorf("neighbor: %d types for %d atoms", len(types), nall)
-	}
-	if nloc > nall {
-		return nil, fmt.Errorf("neighbor: nloc %d > nall %d", nloc, nall)
-	}
-	rc := spec.RcutBuild()
-	if box != nil {
-		for k := 0; k < 3; k++ {
-			if box.L[k] < 2*rc {
-				return nil, fmt.Errorf("neighbor: box edge %d (%.3f) < 2*rcut_build (%.3f); minimum image invalid", k, box.L[k], 2*rc)
-			}
-		}
-	}
-	l := &List{Nloc: nloc, Entries: make([][]Entry, nloc)}
-	if useCells(pos, nall, box, rc) {
-		buildCells(l, spec, pos, types, nloc, box)
-	} else {
-		buildAllPairs(l, spec, pos, types, nloc, box)
-	}
-	return l, nil
-}
-
-// useCells decides whether a linked-cell search is worthwhile: the domain
-// must hold at least 3 cells per dimension, otherwise the all-pairs scan is
-// both simpler and as fast.
-func useCells(pos []float64, nall int, box *Box, rc float64) bool {
-	if nall < 64 {
-		return false
-	}
-	var ext [3]float64
-	if box != nil {
-		ext = box.L
-	} else {
-		lo, hi := bounds(pos)
-		for k := 0; k < 3; k++ {
-			ext[k] = hi[k] - lo[k]
-		}
-	}
-	for k := 0; k < 3; k++ {
-		if int(ext[k]/rc) < 3 {
-			return false
-		}
-	}
-	return true
-}
-
-func bounds(pos []float64) (lo, hi [3]float64) {
-	lo = [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
-	hi = [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
-	for i := 0; i < len(pos); i += 3 {
-		for k := 0; k < 3; k++ {
-			v := pos[i+k]
-			if v < lo[k] {
-				lo[k] = v
-			}
-			if v > hi[k] {
-				hi[k] = v
-			}
-		}
-	}
-	return lo, hi
-}
-
-func buildAllPairs(l *List, spec Spec, pos []float64, types []int, nloc int, box *Box) {
-	nall := len(pos) / 3
-	rc2 := spec.RcutBuild() * spec.RcutBuild()
-	for i := 0; i < nloc; i++ {
-		var nbrs []Entry
-		for j := 0; j < nall; j++ {
-			if j == i {
-				continue
-			}
-			d := displacement(pos, i, j, box)
-			r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
-			if r2 < rc2 {
-				nbrs = append(nbrs, Entry{Type: types[j], Dist: math.Sqrt(r2), Index: j})
-			}
-		}
-		l.Entries[i] = nbrs
-	}
-}
-
 // displacement returns r_j - r_i, minimum-imaged when box != nil.
 func displacement(pos []float64, i, j int, box *Box) [3]float64 {
 	d := [3]float64{
@@ -201,105 +113,4 @@ func displacement(pos []float64, i, j int, box *Box) [3]float64 {
 		box.MinImage(&d)
 	}
 	return d
-}
-
-// buildCells performs a linked-cell search. In periodic mode cells tile the
-// box and neighbor cells wrap; in domain mode cells tile the bounding box
-// of all atoms (locals + ghosts) without wrapping.
-func buildCells(l *List, spec Spec, pos []float64, types []int, nloc int, box *Box) {
-	nall := len(pos) / 3
-	rc := spec.RcutBuild()
-	rc2 := rc * rc
-
-	var lo [3]float64
-	var ext [3]float64
-	if box != nil {
-		ext = box.L
-	} else {
-		var hi [3]float64
-		lo, hi = bounds(pos)
-		for k := 0; k < 3; k++ {
-			ext[k] = hi[k] - lo[k] + 1e-9
-		}
-	}
-	var nc [3]int
-	var cw [3]float64
-	for k := 0; k < 3; k++ {
-		nc[k] = int(ext[k] / rc)
-		if nc[k] < 1 {
-			nc[k] = 1
-		}
-		cw[k] = ext[k] / float64(nc[k])
-	}
-	ncells := nc[0] * nc[1] * nc[2]
-
-	// Bucket atoms into cells (counting sort for contiguity).
-	cellOf := make([]int32, nall)
-	count := make([]int32, ncells+1)
-	for a := 0; a < nall; a++ {
-		var c [3]int
-		for k := 0; k < 3; k++ {
-			v := pos[3*a+k] - lo[k]
-			if box != nil {
-				v -= box.L[k] * math.Floor(v/box.L[k])
-			}
-			ci := int(v / cw[k])
-			if ci >= nc[k] {
-				ci = nc[k] - 1
-			}
-			if ci < 0 {
-				ci = 0
-			}
-			c[k] = ci
-		}
-		id := (c[0]*nc[1]+c[1])*nc[2] + c[2]
-		cellOf[a] = int32(id)
-		count[id+1]++
-	}
-	for i := 1; i <= ncells; i++ {
-		count[i] += count[i-1]
-	}
-	order := make([]int32, nall)
-	next := make([]int32, ncells)
-	copy(next, count[:ncells])
-	for a := 0; a < nall; a++ {
-		id := cellOf[a]
-		order[next[id]] = int32(a)
-		next[id]++
-	}
-
-	for i := 0; i < nloc; i++ {
-		ci := int(cellOf[i])
-		cx := ci / (nc[1] * nc[2])
-		cy := (ci / nc[2]) % nc[1]
-		cz := ci % nc[2]
-		var nbrs []Entry
-		for dx := -1; dx <= 1; dx++ {
-			for dy := -1; dy <= 1; dy++ {
-				for dz := -1; dz <= 1; dz++ {
-					nx, ny, nz := cx+dx, cy+dy, cz+dz
-					if box != nil {
-						nx = (nx + nc[0]) % nc[0]
-						ny = (ny + nc[1]) % nc[1]
-						nz = (nz + nc[2]) % nc[2]
-					} else if nx < 0 || nx >= nc[0] || ny < 0 || ny >= nc[1] || nz < 0 || nz >= nc[2] {
-						continue
-					}
-					id := (nx*nc[1]+ny)*nc[2] + nz
-					for s := count[id]; s < count[id+1]; s++ {
-						j := int(order[s])
-						if j == i {
-							continue
-						}
-						d := displacement(pos, i, j, box)
-						r2 := d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
-						if r2 < rc2 {
-							nbrs = append(nbrs, Entry{Type: types[j], Dist: math.Sqrt(r2), Index: j})
-						}
-					}
-				}
-			}
-		}
-		l.Entries[i] = nbrs
-	}
 }

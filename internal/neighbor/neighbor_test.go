@@ -66,7 +66,7 @@ func TestCellListMatchesBruteForcePeriodic(t *testing.T) {
 	box := &Box{L: [3]float64{20, 22, 24}}
 	spec := Spec{Rcut: 2.5, Skin: 0.5, Sel: []int{64, 64}}
 	pos, types := randomConfig(rng, 400, box, 2)
-	l, err := Build(spec, pos, types, 400, box)
+	l, err := Build(spec, pos, types, 400, box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestCellListMatchesBruteForceOpen(t *testing.T) {
 	spec := Spec{Rcut: 2.0, Skin: 0.5, Sel: []int{64}}
 	pos, types := randomConfig(rng, 300, box, 1)
 	// Open mode: nil box, only first 200 atoms are "local".
-	l, err := Build(spec, pos, types, 200, nil)
+	l, err := Build(spec, pos, types, 200, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestBuildRejectsSmallBox(t *testing.T) {
 	spec := Spec{Rcut: 3, Skin: 0.5, Sel: []int{8}}
 	pos := make([]float64, 30)
 	types := make([]int, 10)
-	if _, err := Build(spec, pos, types, 10, box); err == nil {
+	if _, err := Build(spec, pos, types, 10, box, 1); err == nil {
 		t.Fatal("expected minimum-image violation error")
 	}
 }
@@ -191,7 +191,7 @@ func TestFormatInvariants(t *testing.T) {
 	box := &Box{L: [3]float64{16, 16, 16}}
 	spec := Spec{Rcut: 3.0, Skin: 1.0, Sel: []int{20, 30}}
 	pos, types := randomConfig(rng, 200, box, 2)
-	l, err := Build(spec, pos, types, 200, box)
+	l, err := Build(spec, pos, types, 200, box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestFormatMatchesBaseline(t *testing.T) {
 	box := &Box{L: [3]float64{15, 15, 15}}
 	spec := Spec{Rcut: 3.0, Skin: 0.5, Sel: []int{25, 25, 25}}
 	pos, types := randomConfig(rng, 250, box, 3)
-	l, err := Build(spec, pos, types, 250, box)
+	l, err := Build(spec, pos, types, 250, box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestFormatOverflowKeepsNearest(t *testing.T) {
 	}
 	types := make([]int, 7)
 	spec := Spec{Rcut: 6, Skin: 0, Sel: []int{3}}
-	l, err := Build(spec, pos, types, 1, nil)
+	l, err := Build(spec, pos, types, 1, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,7 +19,7 @@ func forceFiniteDiff(t *testing.T, pot potential, pos []float64, types []int, bo
 	t.Helper()
 	n := len(types)
 	build := func() *neighbor.List {
-		l, err := neighbor.Build(spec, pos, types, n, box)
+		l, err := neighbor.Build(spec, pos, types, n, box, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,7 +60,7 @@ func TestLJDimer(t *testing.T) {
 	rmin := math.Pow(2, 1.0/6) * 3.4
 	pos := []float64{0, 0, 0, rmin, 0, 0}
 	types := []int{0, 0}
-	list, err := neighbor.Build(neighbor.Spec{Rcut: 8, Sel: []int{4}}, pos, types, 2, nil)
+	list, err := neighbor.Build(neighbor.Spec{Rcut: 8, Sel: []int{4}}, pos, types, 2, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestLJNewtonThirdLaw(t *testing.T) {
 		pos[i] = rng.Float64() * 14
 	}
 	lj := NewLennardJones(0.01, 2.2, 6.0)
-	list, err := neighbor.Build(neighbor.Spec{Rcut: 6, Sel: []int{64}}, pos, types, n, box)
+	list, err := neighbor.Build(neighbor.Spec{Rcut: 6, Sel: []int{64}}, pos, types, n, box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestSuttonChenCohesiveEnergy(t *testing.T) {
 	// parameterization (acceptance band generous: truncation effects).
 	sc := NewSuttonChenCu()
 	sys := lattice.FCC(5, 5, 5, lattice.CuLatticeConst)
-	list, err := neighbor.Build(neighbor.Spec{Rcut: sc.Rcut, Skin: 0.3, Sel: []int{128}}, sys.Pos, sys.Types, sys.N(), &sys.Box)
+	list, err := neighbor.Build(neighbor.Spec{Rcut: sc.Rcut, Skin: 0.3, Sel: []int{128}}, sys.Pos, sys.Types, sys.N(), &sys.Box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestToyWaterEquilibriumGeometry(t *testing.T) {
 	// energy and zero force.
 	sys := lattice.Water(1, 1, 1, 20, 3) // big spacing: no intermolecular terms
 	sys.Box = neighbor.Box{L: [3]float64{20, 20, 20}}
-	list, err := neighbor.Build(neighbor.Spec{Rcut: tw.Rcut, Sel: []int{8, 8}}, sys.Pos, sys.Types, 3, &sys.Box)
+	list, err := neighbor.Build(neighbor.Spec{Rcut: tw.Rcut, Sel: []int{8, 8}}, sys.Pos, sys.Types, 3, &sys.Box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestToyWaterRejectsNonTriplets(t *testing.T) {
 	pos := make([]float64, 12)
 	types := []int{0, 1, 1, 0}
 	box := &neighbor.Box{L: [3]float64{30, 30, 30}}
-	list, err := neighbor.Build(neighbor.Spec{Rcut: 6, Sel: []int{8, 8}}, pos, types, 4, box)
+	list, err := neighbor.Build(neighbor.Spec{Rcut: 6, Sel: []int{8, 8}}, pos, types, 4, box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestLJVirialStrainDerivative(t *testing.T) {
 	}
 	lj := NewLennardJones(0.01, 2.5, 6.0)
 	spec := neighbor.Spec{Rcut: 6, Skin: 0.3, Sel: []int{64}}
-	list, err := neighbor.Build(spec, pos, types, n, box)
+	list, err := neighbor.Build(spec, pos, types, n, box, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestLJVirialStrainDerivative(t *testing.T) {
 			sp[i] = v * (1 + eps)
 		}
 		sb := &neighbor.Box{L: [3]float64{14 * (1 + eps), 14 * (1 + eps), 14 * (1 + eps)}}
-		sl, err := neighbor.Build(spec, sp, types, n, sb)
+		sl, err := neighbor.Build(spec, sp, types, n, sb, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

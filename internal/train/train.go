@@ -36,10 +36,11 @@ type Frame struct {
 	list *neighbor.List // cached neighbor list
 }
 
-// List returns (building if needed) the frame's neighbor list for spec.
-func (f *Frame) List(spec neighbor.Spec) (*neighbor.List, error) {
+// List returns (building if needed) the frame's neighbor list for spec,
+// using workers goroutines for the build.
+func (f *Frame) List(spec neighbor.Spec, workers int) (*neighbor.List, error) {
 	if f.list == nil {
-		l, err := neighbor.Build(spec, f.Pos, f.Types, len(f.Types), &f.Box)
+		l, err := neighbor.Build(spec, f.Pos, f.Types, len(f.Types), &f.Box, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +64,7 @@ func GenData(oracle md.Potential, base *lattice.System, spec neighbor.Spec, nfra
 			pos[i] += amp * (2*rng.Float64() - 1)
 		}
 		f := Frame{Pos: pos, Types: base.Types, Box: base.Box}
-		list, err := f.List(spec)
+		list, err := f.List(spec, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +152,7 @@ func EnergyRMSE(model *core.Model, frames []Frame) (float64, error) {
 	var res core.Result
 	for i := range frames {
 		f := &frames[i]
-		list, err := f.List(spec)
+		list, err := f.List(spec, model.Cfg.Workers)
 		if err != nil {
 			return 0, err
 		}
@@ -173,7 +174,7 @@ func ForceRMSE(model *core.Model, frames []Frame) (float64, error) {
 	var res core.Result
 	for i := range frames {
 		f := &frames[i]
-		list, err := f.List(spec)
+		list, err := f.List(spec, model.Cfg.Workers)
 		if err != nil {
 			return 0, err
 		}
@@ -200,6 +201,10 @@ type Config struct {
 	BatchSize int
 	// Seed shuffles batches.
 	Seed int64
+	// NeighborWorkers is the goroutine count for neighbor-list builds of
+	// uncached frames; the evaluator itself must stay serial (parameter
+	// gradients require Workers = 1) but list construction need not.
+	NeighborWorkers int
 }
 
 // Trainer minimizes the per-atom energy loss over a dataset.
@@ -233,6 +238,9 @@ func NewTrainer(model *core.Model, cfg Config) (*Trainer, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 4
 	}
+	if cfg.NeighborWorkers <= 0 {
+		cfg.NeighborWorkers = 1
+	}
 	return &Trainer{
 		Model:   model,
 		Cfg:     cfg,
@@ -260,7 +268,7 @@ func (t *Trainer) Step(frames []Frame) (float64, error) {
 	b := t.Cfg.BatchSize
 	for k := 0; k < b; k++ {
 		f := &frames[t.rng.Intn(len(frames))]
-		list, err := f.List(t.spec)
+		list, err := f.List(t.spec, t.Cfg.NeighborWorkers)
 		if err != nil {
 			return 0, err
 		}

@@ -40,7 +40,7 @@ func TestEnergyParameterGradient(t *testing.T) {
 	ev := core.NewEvaluator[float64](model)
 	f := &frames[0]
 	spec := neighbor.Spec{Rcut: model.Cfg.Rcut, Skin: model.Cfg.Skin, Sel: model.Cfg.Sel}
-	list, err := f.List(spec)
+	list, err := f.List(spec, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
