@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|neighbor|all
+//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|neighbor|gemm|all
 //	        [-full] [-ranks N] [-workers N]
 //
 // By default experiments run at Quick scale (seconds on one CPU core);
@@ -20,10 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, neighbor, all")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, neighbor, gemm, all")
 	full := flag.Bool("full", false, "use paper-scale networks and larger systems (slow on CPU)")
 	ranks := flag.Int("ranks", 4, "simulated ranks for setup/scaling experiments")
-	workers := flag.Int("workers", 8, "max goroutines for the neighbor experiment")
+	workers := flag.Int("workers", 8, "max goroutines for the neighbor and gemm experiments")
 	flag.Parse()
 
 	sc := experiments.Quick
@@ -122,6 +122,14 @@ func main() {
 			fmt.Println(txt)
 			return nil
 		},
+		"gemm": func() error {
+			res, err := experiments.GemmKernels(sc, *workers)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		},
 		"neighbor": func() error {
 			res, err := experiments.NeighborBuild(sc, *workers)
 			if err != nil {
@@ -143,7 +151,7 @@ func main() {
 			return nil
 		},
 	}
-	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "neighbor", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
+	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "gemm", "neighbor", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
 
 	var names []string
 	if *exp == "all" {

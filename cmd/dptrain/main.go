@@ -34,6 +34,7 @@ func main() {
 	netscale := flag.String("netscale", "tiny", "tiny | paper network geometry")
 	out := flag.String("out", "model.dp", "output model file")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "goroutines for neighbor-list builds and intra-GEMM row blocks (the training evaluator itself stays serial: parameter gradients require it)")
 	flag.Parse()
 
 	var cfg core.Config
@@ -86,7 +87,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := train.NewTrainer(model, train.Config{LR: *lr, BatchSize: *batch, DecayRate: 0.97, DecaySteps: *steps / 20, Seed: *seed})
+	tr, err := train.NewTrainer(model, train.Config{
+		LR: *lr, BatchSize: *batch, DecayRate: 0.97, DecaySteps: *steps / 20, Seed: *seed,
+		NeighborWorkers: *workers, GemmWorkers: *workers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -51,6 +51,9 @@ func (bv *BaselineEvaluator) Compute(pos []float64, types []int, nloc int, list 
 		return err
 	}
 	cfg := &bv.cfg
+	// The baseline strategy predates the blocked kernels: every GEMM runs
+	// the naive reference family, exactly as the 2018 execution graph did.
+	naive := tensor.Opts{Kernel: tensor.Naive}
 	stride := cfg.Stride()
 	m := cfg.M()
 	ax := cfg.MAxis
@@ -86,12 +89,12 @@ func (bv *BaselineEvaluator) Compute(pos []float64, types []int, nloc int, list 
 			tr := bv.model.Embed[ci][tj].ForwardBaseline(ctr, sIn, true)
 			g := tr.Out()
 			r := tensor.MatrixFrom(sel, 4, env.R[(i*stride+off)*4:(i*stride+off+sel)*4])
-			tensor.GemmTN(ctr, invN, g, r, 1, ti)
+			tensor.GemmTNOpt(naive, ctr, invN, g, r, 1, ti)
 			secs[tj] = secTrace{tr: tr, g: g, r: r}
 		}
 		tsub := tensor.MatrixFrom(ax, 4, ti.Data[:ax*4])
 		di := tensor.NewMatrix[float64](m, ax)
-		tensor.GemmNT(ctr, 1, ti, tsub, 0, di)
+		tensor.GemmNTOpt(naive, ctr, 1, ti, tsub, 0, di)
 
 		dRow := tensor.MatrixFrom(1, dim, di.Data)
 		fitTr := bv.model.Fit[ci].ForwardBaseline(ctr, dRow, true)
@@ -101,13 +104,13 @@ func (bv *BaselineEvaluator) Compute(pos []float64, types []int, nloc int, list 
 
 		one := tensor.MatrixFrom(1, 1, []float64{1})
 		scratch.Reset()
-		dD := bv.model.Fit[ci].Backward(ctr, scratch, fitTr, one, nil)
+		dD := bv.model.Fit[ci].Backward(ctr, naive, scratch, fitTr, one, nil)
 
 		dDa := tensor.MatrixFrom(m, ax, dD.Data)
 		dT := tensor.NewMatrix[float64](m, 4)
-		tensor.Gemm(ctr, 1, dDa, tsub, 0, dT)
+		tensor.GemmOpt(naive, ctr, 1, dDa, tsub, 0, dT)
 		dTsub := tensor.NewMatrix[float64](ax, 4)
-		tensor.GemmTN(ctr, 1, dDa, ti, 0, dTsub)
+		tensor.GemmTNOpt(naive, ctr, 1, dDa, ti, 0, dTsub)
 		for x := range dTsub.Data {
 			dT.Data[x] += dTsub.Data[x]
 		}
@@ -115,10 +118,10 @@ func (bv *BaselineEvaluator) Compute(pos []float64, types []int, nloc int, list 
 			sel := cfg.Sel[tj]
 			off := env.Fmt.SelOff[tj]
 			dg := tensor.NewMatrix[float64](sel, m)
-			tensor.GemmNT(ctr, invN, secs[tj].r, dT, 0, dg)
+			tensor.GemmNTOpt(naive, ctr, invN, secs[tj].r, dT, 0, dg)
 			nd := tensor.MatrixFrom(sel, 4, netDeriv[(i*stride+off)*4:(i*stride+off+sel)*4])
-			tensor.Gemm(ctr, invN, secs[tj].g, dT, 1, nd)
-			ds := bv.model.Embed[ci][tj].Backward(ctr, scratch, secs[tj].tr, dg, nil)
+			tensor.GemmOpt(naive, ctr, invN, secs[tj].g, dT, 1, nd)
+			ds := bv.model.Embed[ci][tj].Backward(ctr, naive, scratch, secs[tj].tr, dg, nil)
 			for k := 0; k < sel; k++ {
 				netDeriv[(i*stride+off+k)*4] += ds.Data[k]
 			}

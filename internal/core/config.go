@@ -45,9 +45,14 @@ type Config struct {
 	// ChunkSize is the number of atoms batched through the network at
 	// once; bounds peak memory independent of system size.
 	ChunkSize int
-	// Workers is the number of goroutines evaluating chunks concurrently
-	// (the CPU stand-in for GPU parallelism). <= 1 means serial. Pass the
-	// same value to neighbor.Build (md.Options.Workers /
+	// Workers is the parallelism budget of one evaluation (the CPU
+	// stand-in for GPU parallelism). <= 1 means serial. With enough atom
+	// chunks the evaluator fans the chunks out over this many goroutines;
+	// when the chunk loop degenerates to serial (a system too small to
+	// fill the pool) the same budget moves inside the blocked GEMM
+	// kernels, which partition output row blocks across goroutines
+	// (tensor.Opts.Workers) with bit-identical results at any count. Pass
+	// the same value to neighbor.Build (md.Options.Workers /
 	// domain.Options.Workers thread it for the MD engines) so the list
 	// rebuild keeps pace with the parallel evaluator.
 	Workers int

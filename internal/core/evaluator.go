@@ -42,6 +42,11 @@ type Evaluator[T tensor.Float] struct {
 	ndT    []T
 	nd64   []float64
 	byType [][]int
+
+	// gemmWorkers is the row-block goroutine count handed to the blocked
+	// GEMM kernels when the chunk loop runs serially (defaults to
+	// cfg.Workers; see Compute).
+	gemmWorkers int
 }
 
 // NewEvaluator builds an evaluator for the model in precision T, converting
@@ -70,7 +75,18 @@ func NewEvaluator[T tensor.Float](m *Model) *Evaluator[T] {
 	for w := 0; w < max(1, cfg.Workers); w++ {
 		ev.arenas = append(ev.arenas, tensor.NewArena[T](1<<14))
 	}
+	ev.gemmWorkers = max(1, cfg.Workers)
 	return ev
+}
+
+// SetGemmWorkers overrides the goroutine count the blocked GEMM kernels
+// use when the chunk loop is serial. The trainer uses this: parameter
+// gradients require a serial evaluator (Workers = 1), but row-block
+// parallelism inside each GEMM call is safe — every C element is written
+// by exactly one goroutine and results are bit-identical across worker
+// counts — so training still spreads the dominant matrix math over cores.
+func (ev *Evaluator[T]) SetGemmWorkers(n int) {
+	ev.gemmWorkers = max(1, n)
 }
 
 // ArenaBytes reports the total arena slab size; the mixed-precision
@@ -132,12 +148,22 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 	}
 	chunkE := make([]float64, len(jobs))
 
+	// Parallelism budget: when there are enough chunks, fan the chunk jobs
+	// out over the worker arenas and keep each GEMM serial; when the chunk
+	// loop degenerates to serial (Workers = 1, or a system too small to
+	// fill the pool), hand the worker budget to the blocked GEMM kernels
+	// instead, which partition C row blocks across goroutines.
 	workers := min(len(ev.arenas), len(jobs))
 	if workers <= 1 {
+		opts := tensor.Opts{Workers: ev.gemmWorkers}
 		for ji, j := range jobs {
-			chunkE[ji] = ev.evalChunk(ctr, ev.arenas[0], env, j.ci, j.atoms, out.AtomEnergy)
+			chunkE[ji] = ev.evalChunk(ctr, opts, ev.arenas[0], env, j.ci, j.atoms, out.AtomEnergy)
 		}
 	} else {
+		// Fewer chunks than budget: split the remainder as intra-GEMM
+		// workers so e.g. Workers=8 over 2 chunks still uses 8 cores
+		// (2 chunk goroutines x 4 GEMM row-block goroutines each).
+		opts := tensor.Opts{Workers: ev.gemmWorkers / workers}
 		var wg sync.WaitGroup
 		next := make(chan int, len(jobs))
 		for ji := range jobs {
@@ -149,7 +175,7 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 			go func(ar *tensor.Arena[T]) {
 				defer wg.Done()
 				for ji := range next {
-					chunkE[ji] = ev.evalChunk(ctr, ar, env, jobs[ji].ci, jobs[ji].atoms, out.AtomEnergy)
+					chunkE[ji] = ev.evalChunk(ctr, opts, ar, env, jobs[ji].ci, jobs[ji].atoms, out.AtomEnergy)
 				}
 			}(ev.arenas[w])
 		}
@@ -177,8 +203,10 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 
 // evalChunk runs embedding, descriptor, fitting and their backward passes
 // for one chunk of same-type atoms, returning the chunk energy in double
-// precision and filling atomEnergy and ev.ndT rows for those atoms.
-func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
+// precision and filling atomEnergy and ev.ndT rows for those atoms. opts
+// carries the GEMM worker budget (serial when chunk-level parallelism is
+// already using the cores).
+func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
 	defer ar.Reset()
 	cfg := &ev.cfg
 	stride := cfg.Stride()
@@ -202,7 +230,7 @@ func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, ar *tensor.Arena[T], env *d
 				sIn.Data[a*sel+k] = ev.rT[base+k*4]
 			}
 		}
-		traces[tj] = ev.embed[ci][tj].Forward(ctr, ar, sIn, true)
+		traces[tj] = ev.embed[ci][tj].Forward(ctr, opts, ar, sIn, true)
 	}
 
 	// Per-atom descriptor contraction T_i = G^T R~ / N and
@@ -226,7 +254,7 @@ func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, ar *tensor.Arena[T], env *d
 	}
 
 	// Fitting net forward/backward over the chunk batch.
-	fitTr := ev.fit[ci].Forward(ctr, ar, dChunk, true)
+	fitTr := ev.fit[ci].Forward(ctr, opts, ar, dChunk, true)
 	eOut := fitTr.Out()
 	var chunkE float64
 	for a, atom := range atoms {
@@ -239,7 +267,7 @@ func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, ar *tensor.Arena[T], env *d
 		ones.Data[i] = 1
 	}
 	_, fitGr := ev.gradsFor(ci, 0)
-	dD := ev.fit[ci].Backward(ctr, ar, fitTr, ones, fitGr)
+	dD := ev.fit[ci].Backward(ctr, opts, ar, fitTr, ones, fitGr)
 
 	// Per-atom backward through the descriptor contraction.
 	dGsec := make([]tensor.Matrix[T], nt)
@@ -275,7 +303,7 @@ func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, ar *tensor.Arena[T], env *d
 		sel := cfg.Sel[tj]
 		off := fmtd.SelOff[tj]
 		embGr, _ := ev.gradsFor(ci, tj)
-		ds := ev.embed[ci][tj].Backward(ctr, ar, traces[tj], dGsec[tj], embGr)
+		ds := ev.embed[ci][tj].Backward(ctr, opts, ar, traces[tj], dGsec[tj], embGr)
 		for a, atom := range atoms {
 			base := (atom*stride + off) * 4
 			for k := 0; k < sel; k++ {

@@ -256,3 +256,27 @@ func TestSetupShape(t *testing.T) {
 		t.Fatalf("ranks = %d", res.Ranks)
 	}
 }
+
+func TestGemmKernelsShape(t *testing.T) {
+	res, err := GemmKernels(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Naive <= 0 || r.Blocked <= 0 || r.Par <= 0 {
+			t.Fatalf("%s: non-positive timing %+v", r.Label, r)
+		}
+		// The tolerance policy of the differential tests bounds the
+		// blocked-vs-naive deviation; at these shapes anything near 1e-6
+		// means a broken kernel, not rounding.
+		if r.MaxDiff > 1e-8 {
+			t.Fatalf("%s: blocked deviates from naive by %g", r.Label, r.MaxDiff)
+		}
+	}
+	if !strings.Contains(res.String(), "fitting 240x240") {
+		t.Fatal("gemm table missing fitting row")
+	}
+}

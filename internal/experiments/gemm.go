@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"deepmd-go/internal/tensor"
+)
+
+// GemmRow is one shape of the GEMM kernel ablation: the naive serial
+// reference against the blocked kernel, serial and with the worker pool.
+type GemmRow struct {
+	Label   string
+	M, K, N int
+	Naive   time.Duration // best-of-reps, naive serial
+	Blocked time.Duration // best-of-reps, blocked serial
+	Par     time.Duration // best-of-reps, blocked with Workers goroutines
+	MaxDiff float64       // max |blocked - naive| over C (tolerance sanity)
+}
+
+// GemmResult is the `dpbench -exp gemm` kernel ablation (ISSUE 2): the
+// tensor layer's ablation of the Sec. 5.3.1 observation that GEMM
+// dominates the per-step cost. Shapes follow the paper's layers: the
+// batched embedding GEMMs (rows = atoms x sel with sel 46/92 for water
+// O/H, widths 1->25->50->100) and the fitting net's 240x240 hidden layers.
+type GemmResult struct {
+	Workers int
+	Rows    []GemmRow
+}
+
+// GemmKernels times naive vs blocked (serial and parallel) on the paper's
+// layer shapes. Blocked results are verified against the naive reference
+// (MaxDiff reported) and the parallel run is required to be bit-identical
+// to the serial blocked run, mirroring the differential tests.
+func GemmKernels(sc Scale, workers int) (*GemmResult, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	atoms, fitRows, reps := 64, 512, 5
+	if sc == Full {
+		atoms, fitRows, reps = 256, 4096, 3
+	}
+	shapes := []struct {
+		label   string
+		m, k, n int
+	}{
+		// Embedding layer 1 consumes one s(r) value per neighbor slot:
+		// K = 1 sits below the blocked cutoff and documents the dispatch
+		// policy (blocked == naive there).
+		{"embed O s->25", atoms * 46, 1, 25},
+		{"embed H s->25", atoms * 92, 1, 25},
+		{"embed 25->50", atoms * 46, 25, 50},
+		{"embed 50->100", atoms * 46, 50, 100},
+		{"fitting 240x240", fitRows, 240, 240},
+	}
+	res := &GemmResult{Workers: workers}
+	for si, s := range shapes {
+		rng := rand.New(rand.NewSource(int64(1 + si)))
+		a := tensor.NewMatrix[float64](s.m, s.k)
+		b := tensor.NewMatrix[float64](s.k, s.n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		cNaive := tensor.NewMatrix[float64](s.m, s.n)
+		cBlk := tensor.NewMatrix[float64](s.m, s.n)
+		cPar := tensor.NewMatrix[float64](s.m, s.n)
+		row := GemmRow{Label: s.label, M: s.m, K: s.k, N: s.n}
+		time3 := func(o tensor.Opts, c tensor.Matrix[float64]) time.Duration {
+			best := time.Duration(0)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				tensor.GemmOpt(o, nil, 1, a, b, 0, c)
+				if el := time.Since(start); best == 0 || el < best {
+					best = el
+				}
+			}
+			return best
+		}
+		row.Naive = time3(tensor.Opts{Kernel: tensor.Naive}, cNaive)
+		row.Blocked = time3(tensor.Opts{Kernel: tensor.Blocked}, cBlk)
+		row.Par = time3(tensor.Opts{Kernel: tensor.Blocked, Workers: workers}, cPar)
+		for i := range cNaive.Data {
+			if d := math.Abs(cBlk.Data[i] - cNaive.Data[i]); d > row.MaxDiff {
+				row.MaxDiff = d
+			}
+			if cPar.Data[i] != cBlk.Data[i] {
+				return nil, fmt.Errorf("experiments: gemm %s: workers=%d not bit-identical to serial blocked at element %d", s.label, workers, i)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func gflops(m, k, n int, d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", 2*float64(m)*float64(k)*float64(n)/d.Seconds()/1e9)
+}
+
+func (r *GemmResult) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, w := range r.Rows {
+		rows = append(rows, []string{
+			w.Label,
+			fmt.Sprintf("%dx%dx%d", w.M, w.K, w.N),
+			gflops(w.M, w.K, w.N, w.Naive),
+			gflops(w.M, w.K, w.N, w.Blocked),
+			gflops(w.M, w.K, w.N, w.Par),
+			fmt.Sprintf("%.2f", float64(w.Naive)/float64(w.Blocked)),
+			fmt.Sprintf("%.2f", float64(w.Naive)/float64(w.Par)),
+			fmt.Sprintf("%.1e", w.MaxDiff),
+		})
+	}
+	return fmt.Sprintf("GEMM kernels: naive serial vs blocked vs blocked x %d workers (GFLOPS; parallel verified bit-identical to serial blocked)\n", r.Workers) +
+		table([]string{"layer", "MxKxN", "naive", "blocked", fmt.Sprintf("blk x%d", r.Workers), "speedup", "par speedup", "max|diff|"}, rows)
+}

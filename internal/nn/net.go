@@ -105,8 +105,9 @@ func (t *Trace[T]) Out() tensor.Matrix[T] { return t.Ys[len(t.Ys)-1] }
 // Forward runs the optimized fused graph. Buffers are drawn from the arena;
 // the trace is valid until the arena is reset. If withGrad is false the
 // tanh gradients are not stored (sufficient when no backward pass will
-// follow, e.g. energy-only evaluation).
-func (n *Net[T]) Forward(ctr *perf.Counter, ar *tensor.Arena[T], x tensor.Matrix[T], withGrad bool) *Trace[T] {
+// follow, e.g. energy-only evaluation). o selects the GEMM kernel family
+// and intra-op worker count (tensor.Opts{} is the serial blocked default).
+func (n *Net[T]) Forward(ctr *perf.Counter, o tensor.Opts, ar *tensor.Arena[T], x tensor.Matrix[T], withGrad bool) *Trace[T] {
 	rows := x.Rows
 	tr := &Trace[T]{
 		X:  x,
@@ -118,13 +119,13 @@ func (n *Net[T]) Forward(ctr *perf.Counter, ar *tensor.Arena[T], x tensor.Matrix
 		y := ar.TakeMatrix(rows, l.Out())
 		switch l.Kind {
 		case Linear:
-			tensor.GemmBias(ctr, cur, l.W, l.B, y)
+			tensor.GemmBiasOpt(o, ctr, cur, l.W, l.B, y)
 		default:
 			g := tensor.Matrix[T]{}
 			if withGrad {
 				g = ar.TakeMatrix(rows, l.Out())
 			}
-			tensor.GemmBiasTanhGrad(ctr, cur, l.W, l.B, y, g)
+			tensor.GemmBiasTanhGradOpt(o, ctr, cur, l.W, l.B, y, g)
 			tr.Gs[i] = g
 			switch l.Kind {
 			case SkipDouble:
@@ -206,8 +207,9 @@ func (g *Grads[T]) Zero() {
 // Backward propagates dOut (gradient w.r.t. the network output) back to the
 // input, returning dX. If grads is non-nil, parameter gradients are
 // accumulated into it (training mode). The trace must have been produced
-// with withGrad = true. Buffers are drawn from the arena.
-func (n *Net[T]) Backward(ctr *perf.Counter, ar *tensor.Arena[T], tr *Trace[T], dOut tensor.Matrix[T], grads *Grads[T]) tensor.Matrix[T] {
+// with withGrad = true. Buffers are drawn from the arena. o selects the
+// GEMM kernel family and intra-op worker count.
+func (n *Net[T]) Backward(ctr *perf.Counter, o tensor.Opts, ar *tensor.Arena[T], tr *Trace[T], dOut tensor.Matrix[T], grads *Grads[T]) tensor.Matrix[T] {
 	rows := dOut.Rows
 	dy := dOut
 	for i := len(n.Layers) - 1; i >= 0; i-- {
@@ -228,12 +230,12 @@ func (n *Net[T]) Backward(ctr *perf.Counter, ar *tensor.Arena[T], tr *Trace[T], 
 			if i > 0 {
 				xi = tr.Ys[i-1]
 			}
-			tensor.GemmTN(ctr, 1, xi, dpre, 1, grads.DW[i])
+			tensor.GemmTNOpt(o, ctr, 1, xi, dpre, 1, grads.DW[i])
 			accumulateBias(ctr, dpre, grads.DB[i])
 		}
 		// Gradient w.r.t. the layer input.
 		dx := ar.TakeMatrix(rows, l.In())
-		tensor.GemmNT(ctr, 1, dpre, l.W, 0, dx)
+		tensor.GemmNTOpt(o, ctr, 1, dpre, l.W, 0, dx)
 		switch l.Kind {
 		case SkipDouble:
 			tensor.SkipDoubleBackward(ctr, dy, dx)

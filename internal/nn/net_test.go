@@ -15,7 +15,7 @@ func testArena() *tensor.Arena[float64] { return tensor.NewArena[float64](1 << 1
 // function for finite-difference checks.
 func scalarOut(n *Net[float64], x tensor.Matrix[float64]) float64 {
 	ar := testArena()
-	tr := n.Forward(nil, ar, x, false)
+	tr := n.Forward(nil, tensor.Opts{}, ar, x, false)
 	var s float64
 	for _, v := range tr.Out().Data {
 		s += v
@@ -41,7 +41,7 @@ func TestForwardShapes(t *testing.T) {
 	}
 
 	x := tensor.NewMatrix[float64](5, 1)
-	tr := emb.Forward(nil, testArena(), x, true)
+	tr := emb.Forward(nil, tensor.Opts{}, testArena(), x, true)
 	if out := tr.Out(); out.Rows != 5 || out.Cols != 32 {
 		t.Fatalf("embedding out %dx%d", out.Rows, out.Cols)
 	}
@@ -60,7 +60,7 @@ func TestForwardMatchesBaseline(t *testing.T) {
 		for i := range x.Data {
 			x.Data[i] = rng.NormFloat64()
 		}
-		opt := n.Forward(nil, testArena(), x, true)
+		opt := n.Forward(nil, tensor.Opts{}, testArena(), x, true)
 		base := n.ForwardBaseline(nil, x, true)
 		for i := range opt.Out().Data {
 			if d := math.Abs(opt.Out().Data[i] - base.Out().Data[i]); d > 1e-13 {
@@ -95,12 +95,12 @@ func TestBackwardInputGradient(t *testing.T) {
 			x.Data[i] = rng.NormFloat64() * 0.5
 		}
 		ar := testArena()
-		tr := n.Forward(nil, ar, x, true)
+		tr := n.Forward(nil, tensor.Opts{}, ar, x, true)
 		dOut := tensor.NewMatrix[float64](rows, n.OutDim())
 		for i := range dOut.Data {
 			dOut.Data[i] = 1
 		}
-		dx := n.Backward(nil, ar, tr, dOut, nil)
+		dx := n.Backward(nil, tensor.Opts{}, ar, tr, dOut, nil)
 
 		const h = 1e-6
 		for i := range x.Data {
@@ -128,13 +128,13 @@ func TestBackwardParamGradient(t *testing.T) {
 		x.Data[i] = rng.NormFloat64()
 	}
 	ar := testArena()
-	tr := n.Forward(nil, ar, x, true)
+	tr := n.Forward(nil, tensor.Opts{}, ar, x, true)
 	dOut := tensor.NewMatrix[float64](rows, 1)
 	for i := range dOut.Data {
 		dOut.Data[i] = 1
 	}
 	grads := NewGrads(n)
-	n.Backward(nil, ar, tr, dOut, grads)
+	n.Backward(nil, tensor.Opts{}, ar, tr, dOut, grads)
 
 	const h = 1e-6
 	for li, l := range n.Layers {
@@ -177,8 +177,8 @@ func TestMixedPrecisionConsistency(t *testing.T) {
 		x64.Data[i] = rng.Float64()
 	}
 	x32 := tensor.MatrixFrom(10, 1, tensor.ToF32(x64.Data))
-	out64 := n64.Forward(nil, testArena(), x64, false).Out()
-	out32 := n32.Forward(nil, tensor.NewArena[float32](1<<16), x32, false).Out()
+	out64 := n64.Forward(nil, tensor.Opts{}, testArena(), x64, false).Out()
+	out32 := n32.Forward(nil, tensor.Opts{}, tensor.NewArena[float32](1<<16), x32, false).Out()
 	for i := range out64.Data {
 		if d := math.Abs(out64.Data[i] - float64(out32.Data[i])); d > 5e-5 {
 			t.Fatalf("precision divergence %g at %d", d, i)

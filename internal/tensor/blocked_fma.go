@@ -1,0 +1,36 @@
+//go:build amd64.v3 || arm64
+
+package tensor
+
+import "math"
+
+// microKernel64 is the float64 microkernel on math.FMA. On these targets
+// (GOAMD64=v3 guarantees the FMA extension; FMADD is baseline ARMv8) the
+// compiler lowers each call to a single fused multiply-add instruction,
+// doubling the scalar FP throughput of the mul-add kernel — and the fused
+// rounding is never less accurate than separate multiply and add, so the
+// differential-test tolerance is unchanged.
+func microKernel64(kb int, ap, bp []float64) [mr * nr]float64 {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	ap = ap[:kb*mr]
+	bp = bp[:kb*nr]
+	for len(ap) >= mr {
+		a1, a0 := ap[1], ap[0]
+		b3, b2, b1, b0 := bp[3], bp[2], bp[1], bp[0]
+		c00 = math.FMA(a0, b0, c00)
+		c01 = math.FMA(a0, b1, c01)
+		c02 = math.FMA(a0, b2, c02)
+		c03 = math.FMA(a0, b3, c03)
+		c10 = math.FMA(a1, b0, c10)
+		c11 = math.FMA(a1, b1, c11)
+		c12 = math.FMA(a1, b2, c12)
+		c13 = math.FMA(a1, b3, c13)
+		ap = ap[mr:]
+		bp = bp[nr:]
+	}
+	return [mr * nr]float64{
+		c00, c01, c02, c03,
+		c10, c11, c12, c13,
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !amd64.v3 && !arm64
+
+package tensor
+
+// microKernel64 falls back to the portable mul-add microkernel on targets
+// where math.FMA is not unconditionally lowered to hardware (under the
+// default GOAMD64=v1 every math.FMA carries a runtime feature-check branch
+// per operation, which measures slower than separate multiply and add).
+func microKernel64(kb int, ap, bp []float64) [mr * nr]float64 {
+	return microKernelMulAdd(kb, ap, bp)
+}

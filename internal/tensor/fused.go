@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"sync"
 	"time"
 
 	"deepmd-go/internal/perf"
@@ -21,11 +22,34 @@ import (
 //     in-place strided add into the activation output.
 
 // GemmBias computes C = A*B + bias broadcast over rows, in one fused pass.
+// Equivalent to GemmBiasOpt with the default Opts.
 func GemmBias[T Float](ctr *perf.Counter, a, b Matrix[T], bias []T, c Matrix[T]) {
+	GemmBiasOpt(Opts{}, ctr, a, b, bias, c)
+}
+
+// GemmBiasOpt is GemmBias with an explicit kernel/parallelism selection.
+// The blocked path writes the bias row into C first and accumulates the
+// blocked GEMM on top (the beta = 1 trick of the CUBLAS call).
+func GemmBiasOpt[T Float](o Opts, ctr *perf.Counter, a, b Matrix[T], bias []T, c Matrix[T]) {
 	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols || len(bias) != c.Cols {
 		panic("tensor: GemmBias dimension mismatch")
 	}
 	start := time.Now()
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if o.Kernel == Naive || !blockedWorthIt(m, k, n) {
+		gemmBiasNaive(a, b, bias, c)
+	} else {
+		for i := 0; i < m; i++ {
+			copy(c.Data[i*n:i*n+n], bias)
+		}
+		gemmBlocked(o.Workers, m, n, k, 1, a.Data, k, 1, b.Data, n, 1, 1, c.Data, n)
+	}
+	ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k)+int64(m)*int64(n))
+}
+
+// gemmBiasNaive is the reference fused bias GEMM: bias copied into each C
+// row, then the naive i-k-j accumulation on top.
+func gemmBiasNaive[T Float](a, b Matrix[T], bias []T, c Matrix[T]) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	for i := 0; i < m; i++ {
 		ci := c.Data[i*n : i*n+n]
@@ -38,25 +62,49 @@ func GemmBias[T Float](ctr *perf.Counter, a, b Matrix[T], bias []T, c Matrix[T])
 			axpy(av, b.Data[l*n:l*n+n], ci)
 		}
 	}
-	ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k)+int64(m)*int64(n))
 }
 
 // GemmBiasTanhGrad computes y = tanh(A*B + bias) and grad = 1 - y*y in one
 // fused kernel. grad may be a zero-sized matrix (Rows == 0) to skip the
-// gradient, in which case only the activation is produced.
+// gradient, in which case only the activation is produced. Equivalent to
+// GemmBiasTanhGradOpt with the default Opts.
 func GemmBiasTanhGrad[T Float](ctr *perf.Counter, a, b Matrix[T], bias []T, y, grad Matrix[T]) {
-	GemmBias(ctr, a, b, bias, y)
+	GemmBiasTanhGradOpt(Opts{}, ctr, a, b, bias, y, grad)
+}
+
+// GemmBiasTanhGradOpt is GemmBiasTanhGrad with an explicit
+// kernel/parallelism selection; the elementwise tanh pass is partitioned
+// over the same workers as the GEMM when large enough.
+func GemmBiasTanhGradOpt[T Float](o Opts, ctr *perf.Counter, a, b Matrix[T], bias []T, y, grad Matrix[T]) {
+	GemmBiasOpt(o, ctr, a, b, bias, y)
 	start := time.Now()
 	wantGrad := grad.Rows > 0
 	if wantGrad && (grad.Rows != y.Rows || grad.Cols != y.Cols) {
 		panic("tensor: GemmBiasTanhGrad gradient dimension mismatch")
 	}
-	for i, v := range y.Data {
-		t := tanhT(v)
-		y.Data[i] = t
-		if wantGrad {
-			grad.Data[i] = 1 - t*t
+	tanhGradRange := func(lo, hi int) {
+		for i, v := range y.Data[lo:hi] {
+			t := tanhT(v)
+			y.Data[lo+i] = t
+			if wantGrad {
+				grad.Data[lo+i] = 1 - t*t
+			}
 		}
+	}
+	if total := len(y.Data); o.Workers > 1 && total >= 1<<14 {
+		var wg sync.WaitGroup
+		per := (total + o.Workers - 1) / o.Workers
+		for lo := 0; lo < total; lo += per {
+			hi := min(total, lo+per)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				tanhGradRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		tanhGradRange(0, total)
 	}
 	flops := tanhFLOPs * int64(len(y.Data))
 	if wantGrad {

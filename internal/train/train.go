@@ -205,6 +205,14 @@ type Config struct {
 	// uncached frames; the evaluator itself must stay serial (parameter
 	// gradients require Workers = 1) but list construction need not.
 	NeighborWorkers int
+	// GemmWorkers is the goroutine count inside each blocked GEMM call of
+	// the training evaluator (row-block parallelism). Chunk-level
+	// parallelism is unavailable during training — parameter gradients
+	// require a serial evaluator — but intra-GEMM parallelism is safe:
+	// every output element is written by exactly one goroutine and results
+	// are bit-identical across worker counts, so the dominant matrix math
+	// still spreads over cores. <= 1 runs serial.
+	GemmWorkers int
 }
 
 // Trainer minimizes the per-atom energy loss over a dataset.
@@ -241,10 +249,15 @@ func NewTrainer(model *core.Model, cfg Config) (*Trainer, error) {
 	if cfg.NeighborWorkers <= 0 {
 		cfg.NeighborWorkers = 1
 	}
+	if cfg.GemmWorkers <= 0 {
+		cfg.GemmWorkers = 1
+	}
+	ev := core.NewEvaluator[float64](model)
+	ev.SetGemmWorkers(cfg.GemmWorkers)
 	return &Trainer{
 		Model:   model,
 		Cfg:     cfg,
-		ev:      core.NewEvaluator[float64](model),
+		ev:      ev,
 		grads:   core.NewModelGrads(model),
 		scratch: core.NewModelGrads(model),
 		adam:    newAdam(model),
