@@ -508,3 +508,78 @@ func BenchmarkGEMM(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEvalBatched contrasts the chunk-batched descriptor pipeline
+// (ISSUE 3, Sec. 5.3.1: merge the per-atom embedding/descriptor matrices
+// into strided-batched GEMMs) against the retained per-atom reference path
+// on the Quick water (nt = 2) and copper (nt = 1) shapes, at Workers = 1
+// (batch x row-block parallelism inside the GEMMs) and Workers = 4 (chunk
+// fan-out). The networks and customized operators are identical between
+// the two paths; the delta is the descriptor stage's execution strategy.
+// `dpbench -exp batch` reports the same contrast best-of-reps with the
+// force cross-check.
+func BenchmarkEvalBatched(b *testing.B) {
+	shapes := []struct {
+		label string
+		water bool
+		sel   []int
+	}{
+		{"water", true, []int{12, 24}},
+		{"copper", false, []int{36}},
+	}
+	for _, s := range shapes {
+		nt := len(s.sel)
+		cfg := TinyConfig(nt)
+		cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+		cfg.Sel = s.sel
+		cfg.EmbedWidths = []int{8, 16, 32}
+		cfg.MAxis = 8
+		cfg.FitWidths = []int{32, 32, 32}
+		cfg.ChunkSize = 64
+		var cell *lattice.System
+		if s.water {
+			cell = lattice.Water(4, 4, 4, lattice.WaterSpacing, 3)
+		} else {
+			c := lattice.FCC(4, 4, 4, 3.615)
+			lattice.Perturb(c, 0.05, 3)
+			cell = c
+		}
+		spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
+		list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := cell.N()
+		for _, workers := range []int{1, 4} {
+			for _, perAtom := range []bool{true, false} {
+				lbl := "batched"
+				if perAtom {
+					lbl = "peratom"
+				}
+				b.Run(fmt.Sprintf("%s/workers=%d/%s", s.label, workers, lbl), func(b *testing.B) {
+					wcfg := cfg
+					wcfg.Workers = workers
+					model, err := core.New(wcfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ev := core.NewEvaluator[float64](model)
+					ev.SetPerAtomDescriptors(perAtom)
+					var out core.Result
+					// Warm the arenas so the steady state is measured.
+					if err := ev.Compute(cell.Pos, cell.Types, n, list, &cell.Box, &out); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := ev.Compute(cell.Pos, cell.Types, n, list, &cell.Box, &out); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(n)*1e9, "ns/step/atom")
+				})
+			}
+		}
+	}
+}

@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|neighbor|gemm|all
-//	        [-full] [-ranks N] [-workers N]
+//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|neighbor|gemm|batch|all
+//	        [-full] [-ranks N] [-workers N] [-json]
 //
 // By default experiments run at Quick scale (seconds on one CPU core);
-// -full uses the paper's network geometry and larger systems.
+// -full uses the paper's network geometry and larger systems. -json
+// suppresses the tables and prints a JSON array of machine-readable
+// measurements (experiment, shape, ns/op, speedup) from the experiments
+// that support them — the perf trajectory seeded in BENCH_*.json and
+// uploaded as a CI artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +25,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, neighbor, gemm, all")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, neighbor, gemm, batch, all")
 	full := flag.Bool("full", false, "use paper-scale networks and larger systems (slow on CPU)")
 	ranks := flag.Int("ranks", 4, "simulated ranks for setup/scaling experiments")
-	workers := flag.Int("workers", 8, "max goroutines for the neighbor and gemm experiments")
+	workers := flag.Int("workers", 8, "max goroutines for the neighbor, gemm and batch experiments")
+	jsonOut := flag.Bool("json", false, "print machine-readable JSON records instead of tables")
 	flag.Parse()
 
 	sc := experiments.Quick
@@ -31,127 +37,49 @@ func main() {
 		sc = experiments.Full
 	}
 
-	run := map[string]func() error{
-		"table1": func() error {
-			res, err := experiments.Table1(sc)
-			if err != nil {
-				return err
-			}
-			fmt.Println(res)
-			return nil
-		},
-		"table3": func() error {
+	run := map[string]func() (any, error){
+		"table1": func() (any, error) { return experiments.Table1(sc) },
+		"table3": func() (any, error) {
 			nx, reps := 5, 5
 			if *full {
 				nx, reps = 8, 3
 			}
 			res, err := experiments.Table3(sc, nx, reps)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Println(res)
 			st, rx, err := experiments.AblationSort(sc, nx, reps)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Printf("Ablation (Sec 5.2.2): struct sort %.2f ms vs compressed radix %.2f ms (%.1fx)\n\n",
-				st.Seconds()*1000, rx.Seconds()*1000, float64(st)/float64(rx))
-			return nil
+			return fmt.Sprintf("%v\nAblation (Sec 5.2.2): struct sort %.2f ms vs compressed radix %.2f ms (%.1fx)\n",
+				res, st.Seconds()*1000, rx.Seconds()*1000, float64(st)/float64(rx)), nil
 		},
-		"fusion": func() error {
-			fmt.Println(experiments.Fusion(sc, 5))
-			return nil
-		},
-		"fig3": func() error {
-			res, err := experiments.Fig3(sc, 3)
-			if err != nil {
-				return err
-			}
-			fmt.Println(res)
-			return nil
-		},
-		"fig4": func() error {
-			res, err := experiments.Fig4(sc)
-			if err != nil {
-				return err
-			}
-			fmt.Println(res)
-			return nil
-		},
-		"fig5": func() error {
-			fmt.Println(experiments.Fig5Table())
-			return nil
-		},
-		"fig6": func() error {
-			fmt.Println(experiments.Fig6Table())
-			return nil
-		},
-		"table4": func() error {
-			fmt.Println(experiments.Table4Text())
-			return nil
-		},
-		"fig7": func() error {
-			res, err := experiments.Fig7(sc)
-			if err != nil {
-				return err
-			}
-			fmt.Println(res)
-			return nil
-		},
-		"mixed": func() error {
-			res, err := experiments.Mixed(sc, 3)
-			if err != nil {
-				return err
-			}
-			fmt.Println(res)
-			return nil
-		},
-		"single": func() error {
-			res, err := experiments.Single(sc, 3)
-			if err != nil {
-				return err
-			}
-			fmt.Println(res)
-			return nil
-		},
-		"setup": func() error {
+		"fusion": func() (any, error) { return experiments.Fusion(sc, 5), nil },
+		"fig3":   func() (any, error) { return experiments.Fig3(sc, 3) },
+		"fig4":   func() (any, error) { return experiments.Fig4(sc) },
+		"fig5":   func() (any, error) { return experiments.Fig5Table(), nil },
+		"fig6":   func() (any, error) { return experiments.Fig6Table(), nil },
+		"table4": func() (any, error) { return experiments.Table4Text(), nil },
+		"fig7":   func() (any, error) { return experiments.Fig7(sc) },
+		"mixed":  func() (any, error) { return experiments.Mixed(sc, 3) },
+		"single": func() (any, error) { return experiments.Single(sc, 3) },
+		"setup": func() (any, error) {
 			txt, _, err := experiments.SetupText(sc, *ranks)
-			if err != nil {
-				return err
-			}
-			fmt.Println(txt)
-			return nil
+			return txt, err
 		},
-		"gemm": func() error {
-			res, err := experiments.GemmKernels(sc, *workers)
-			if err != nil {
-				return err
-			}
-			fmt.Println(res)
-			return nil
-		},
-		"neighbor": func() error {
-			res, err := experiments.NeighborBuild(sc, *workers)
-			if err != nil {
-				return err
-			}
-			fmt.Println(res)
-			return nil
-		},
-		"scaling": func() error {
+		"gemm":     func() (any, error) { return experiments.GemmKernels(sc, *workers) },
+		"batch":    func() (any, error) { return experiments.DescriptorBatch(sc, *workers) },
+		"neighbor": func() (any, error) { return experiments.NeighborBuild(sc, *workers) },
+		"scaling": func() (any, error) {
 			counts := []int{1, 2, 4}
 			if *ranks > 4 {
 				counts = append(counts, *ranks)
 			}
-			res, err := experiments.LocalScaling(sc, 20, counts)
-			if err != nil {
-				return err
-			}
-			fmt.Println(res)
-			return nil
+			return experiments.LocalScaling(sc, 20, counts)
 		},
 	}
-	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "gemm", "neighbor", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
+	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "gemm", "batch", "neighbor", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
 
 	var names []string
 	if *exp == "all" {
@@ -159,15 +87,43 @@ func main() {
 	} else {
 		names = strings.Split(*exp, ",")
 	}
+	// Only these experiments report machine-readable records; in -json mode
+	// the others are skipped up front instead of silently burning their
+	// runtime and contributing nothing.
+	recorders := map[string]bool{"gemm": true, "batch": true}
+	records := []experiments.Record{}
 	for _, name := range names {
-		f, ok := run[strings.TrimSpace(name)]
+		name = strings.TrimSpace(name)
+		f, ok := run[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "dpbench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
-		fmt.Printf("==== %s ====\n", name)
-		if err := f(); err != nil {
+		if *jsonOut && !recorders[name] {
+			fmt.Fprintf(os.Stderr, "dpbench: %s produces no JSON records; skipping\n", name)
+			continue
+		}
+		if !*jsonOut {
+			fmt.Printf("==== %s ====\n", name)
+		}
+		res, err := f()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "dpbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if rec, ok := res.(experiments.Recorder); ok {
+				records = append(records, rec.Records()...)
+			}
+			continue
+		}
+		fmt.Println(res)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
 			os.Exit(1)
 		}
 	}

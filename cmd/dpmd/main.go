@@ -45,6 +45,7 @@ func main() {
 	tempK := flag.Float64("temp", 330, "initial temperature (K)")
 	seed := flag.Int64("seed", 1, "random seed")
 	dump := flag.String("dump", "", "write final configuration as XYZ")
+	perAtom := flag.Bool("peratom", false, "run the per-atom reference descriptor pipeline instead of the chunk-batched GEMMs (A/B debugging)")
 	flag.Parse()
 
 	var sys *deepmd.System
@@ -90,11 +91,18 @@ func main() {
 	newPot := func() md.Potential {
 		switch *precision {
 		case "mixed":
-			return core.NewEvaluator[float32](model)
+			ev := core.NewEvaluator[float32](model)
+			ev.SetPerAtomDescriptors(*perAtom)
+			return ev
 		case "baseline":
+			if *perAtom {
+				fmt.Fprintln(os.Stderr, "dpmd: -peratom has no effect with -precision baseline (the baseline evaluator is always per-atom)")
+			}
 			return core.NewBaselineEvaluator(model)
 		default:
-			return core.NewEvaluator[float64](model)
+			ev := core.NewEvaluator[float64](model)
+			ev.SetPerAtomDescriptors(*perAtom)
+			return ev
 		}
 	}
 

@@ -62,7 +62,7 @@ func (bv *BaselineEvaluator) Compute(pos []float64, types []int, nloc int, list 
 	invN := 1.0 / float64(stride)
 
 	netDeriv := make([]float64, nloc*stride*4)
-	out.AtomEnergy = resizeF(out.AtomEnergy, nloc)
+	out.AtomEnergy = tensor.Resize(out.AtomEnergy, nloc)
 	out.Energy = 0
 
 	// Atom-at-a-time: batch size one through every network.
@@ -128,7 +128,7 @@ func (bv *BaselineEvaluator) Compute(pos []float64, types []int, nloc int, list 
 		}
 	}
 
-	out.Force = resizeF(out.Force, 3*nall)
+	out.Force = tensor.Resize(out.Force, 3*nall)
 	f := descriptor.ProdForceBaseline(ctr, netDeriv, env, nall)
 	copy(out.Force, f)
 	out.Virial = descriptor.ProdVirialBaseline(ctr, netDeriv, env)

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"deepmd-go/internal/descriptor"
 	"deepmd-go/internal/neighbor"
@@ -25,6 +27,13 @@ type Result struct {
 // float64 for the double-precision model, float32 for the mixed-precision
 // model (network math in single precision between the double-precision
 // Environment and ProdForce boundaries, Sec. 5.2.3).
+//
+// The descriptor stage runs chunk-batched (Sec. 5.3.1): the embedding
+// outputs, environment rows and descriptor matrices of every atom in a
+// chunk are laid out contiguously in the arena and contracted with a
+// handful of strided-batched GEMM calls, instead of four per-atom loops of
+// tiny products. SetPerAtomDescriptors restores the per-atom loops — the
+// differential oracle and the 2018-granularity reference.
 type Evaluator[T tensor.Float] struct {
 	cfg   Config
 	dcfg  descriptor.Config
@@ -35,18 +44,54 @@ type Evaluator[T tensor.Float] struct {
 	// allowed.
 	Counter *perf.Counter
 
-	sc     descriptor.Scratch
-	grads  *ModelGrads
-	arenas []*tensor.Arena[T]
-	rT     []T
-	ndT    []T
-	nd64   []float64
-	byType [][]int
+	sc      descriptor.Scratch
+	grads   *ModelGrads
+	arenas  []*tensor.Arena[T]
+	scratch []*evalScratch[T]
+	rT      []T
+	ndT     []T
+	nd64    []float64
+	byType  [][]int
+	jobs    []chunkJob
+	chunkE  []float64
+	perAtom bool
 
 	// gemmWorkers is the row-block goroutine count handed to the blocked
 	// GEMM kernels when the chunk loop runs serially (defaults to
 	// cfg.Workers; see Compute).
 	gemmWorkers int
+}
+
+// chunkJob is one same-type atom chunk of an evaluation.
+type chunkJob struct {
+	ci    int
+	atoms []int
+}
+
+// evalScratch is the per-worker reusable state of evalChunk: network
+// traces and per-section buffer views live here instead of being
+// re-allocated every chunk, so the steady-state MD step performs no heap
+// allocation (the paper's init-time memory-trunk strategy, Sec. 5.2.2;
+// asserted by TestComputeZeroAllocSteadyState).
+type evalScratch[T tensor.Float] struct {
+	embTr []*nn.Trace[T] // one per neighbor-type section
+	fitTr nn.Trace[T]
+	secR  [][]T              // gathered environment rows per section, arena-backed
+	secS  []tensor.Matrix[T] // gathered s-inputs per section, arena-backed
+	secG  [][]T              // embedding outputs per section (trace views)
+}
+
+func newEvalScratch[T tensor.Float](nt int) *evalScratch[T] {
+	ws := &evalScratch[T]{
+		embTr: make([]*nn.Trace[T], nt),
+		secR:  make([][]T, nt),
+		secS:  make([]tensor.Matrix[T], nt),
+		secG:  make([][]T, nt),
+	}
+	for tj := range ws.embTr {
+		ws.embTr[tj] = new(nn.Trace[T])
+	}
+	return ws
 }
 
 // NewEvaluator builds an evaluator for the model in precision T, converting
@@ -74,6 +119,7 @@ func NewEvaluator[T tensor.Float](m *Model) *Evaluator[T] {
 	}
 	for w := 0; w < max(1, cfg.Workers); w++ {
 		ev.arenas = append(ev.arenas, tensor.NewArena[T](1<<14))
+		ev.scratch = append(ev.scratch, newEvalScratch[T](nt))
 	}
 	ev.gemmWorkers = max(1, cfg.Workers)
 	return ev
@@ -87,6 +133,15 @@ func NewEvaluator[T tensor.Float](m *Model) *Evaluator[T] {
 // counts — so training still spreads the dominant matrix math over cores.
 func (ev *Evaluator[T]) SetGemmWorkers(n int) {
 	ev.gemmWorkers = max(1, n)
+}
+
+// SetPerAtomDescriptors switches the descriptor stage between the default
+// chunk-batched GEMMs and the retained per-atom reference loops (the
+// computational granularity the 2018 DeePMD-kit used, and the differential
+// oracle the equivalence tests compare against). The mathematics is
+// identical; only the execution strategy changes.
+func (ev *Evaluator[T]) SetPerAtomDescriptors(on bool) {
+	ev.perAtom = on
 }
 
 // ArenaBytes reports the total arena slab size; the mixed-precision
@@ -104,7 +159,8 @@ func (ev *Evaluator[T]) ArenaBytes() int {
 // atoms owned by this rank, list the raw neighbor list built at the last
 // rebuild, and box the periodic box (nil in domain-decomposed mode where
 // ghosts carry the periodic images). The result buffers are reused if
-// adequately sized.
+// adequately sized; after the first call has warmed the arenas and
+// scratch, a steady-state serial Compute performs no heap allocation.
 func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neighbor.List, box *neighbor.Box, out *Result) error {
 	ctr := ev.Counter
 	nall := len(pos) / 3
@@ -115,7 +171,7 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 	stride := ev.cfg.Stride()
 
 	ev.rT = descriptor.ConvertR(ctr, env, ev.rT)
-	ev.ndT = resizeT(ev.ndT, nloc*stride*4)
+	ev.ndT = tensor.Resize(ev.ndT, nloc*stride*4)
 	clear(ev.ndT)
 
 	// Group local atoms by type.
@@ -130,67 +186,67 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 		ev.byType[t] = append(ev.byType[t], i)
 	}
 
-	out.AtomEnergy = resizeF(out.AtomEnergy, nloc)
-	out.Force = resizeF(out.Force, 3*nall)
+	out.AtomEnergy = tensor.Resize(out.AtomEnergy, nloc)
+	out.Force = tensor.Resize(out.Force, 3*nall)
 	clear(out.Force)
 
-	// Assemble chunk jobs.
-	type job struct {
-		ci    int
-		atoms []int
-	}
-	var jobs []job
+	// Assemble chunk jobs into the persistent list.
+	ev.jobs = ev.jobs[:0]
 	for ci, atoms := range ev.byType {
 		for lo := 0; lo < len(atoms); lo += ev.cfg.ChunkSize {
 			hi := min(lo+ev.cfg.ChunkSize, len(atoms))
-			jobs = append(jobs, job{ci, atoms[lo:hi]})
+			ev.jobs = append(ev.jobs, chunkJob{ci, atoms[lo:hi]})
 		}
 	}
-	chunkE := make([]float64, len(jobs))
+	ev.chunkE = tensor.Resize(ev.chunkE, len(ev.jobs))
 
 	// Parallelism budget: when there are enough chunks, fan the chunk jobs
 	// out over the worker arenas and keep each GEMM serial; when the chunk
 	// loop degenerates to serial (Workers = 1, or a system too small to
 	// fill the pool), hand the worker budget to the blocked GEMM kernels
-	// instead, which partition C row blocks across goroutines.
-	workers := min(len(ev.arenas), len(jobs))
+	// instead, which partition (batch x row-block) units across goroutines.
+	workers := min(len(ev.arenas), len(ev.jobs))
 	if workers <= 1 {
 		opts := tensor.Opts{Workers: ev.gemmWorkers}
-		for ji, j := range jobs {
-			chunkE[ji] = ev.evalChunk(ctr, opts, ev.arenas[0], env, j.ci, j.atoms, out.AtomEnergy)
+		for ji, j := range ev.jobs {
+			ev.chunkE[ji] = ev.evalChunk(ctr, opts, ev.scratch[0], ev.arenas[0], env, j.ci, j.atoms, out.AtomEnergy)
 		}
 	} else {
 		// Fewer chunks than budget: split the remainder as intra-GEMM
 		// workers so e.g. Workers=8 over 2 chunks still uses 8 cores
-		// (2 chunk goroutines x 4 GEMM row-block goroutines each).
+		// (2 chunk goroutines x 4 GEMM row-block goroutines each). Chunks
+		// are claimed from an atomic cursor; every chunk's computation is
+		// self-contained and deterministic, so results do not depend on
+		// which worker claims it.
 		opts := tensor.Opts{Workers: ev.gemmWorkers / workers}
 		var wg sync.WaitGroup
-		next := make(chan int, len(jobs))
-		for ji := range jobs {
-			next <- ji
-		}
-		close(next)
+		var cursor atomic.Int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(ar *tensor.Arena[T]) {
+			go func(ws *evalScratch[T], ar *tensor.Arena[T]) {
 				defer wg.Done()
-				for ji := range next {
-					chunkE[ji] = ev.evalChunk(ctr, opts, ar, env, jobs[ji].ci, jobs[ji].atoms, out.AtomEnergy)
+				for {
+					ji := int(cursor.Add(1)) - 1
+					if ji >= len(ev.jobs) {
+						return
+					}
+					j := ev.jobs[ji]
+					ev.chunkE[ji] = ev.evalChunk(ctr, opts, ws, ar, env, j.ci, j.atoms, out.AtomEnergy)
 				}
-			}(ev.arenas[w])
+			}(ev.scratch[w], ev.arenas[w])
 		}
 		wg.Wait()
 	}
 
 	// Deterministic energy reduction in double precision.
 	out.Energy = 0
-	for _, e := range chunkE {
+	for _, e := range ev.chunkE[:len(ev.jobs)] {
 		out.Energy += e
 	}
 
 	// Convert the network gradient back to double precision and run the
 	// customized force/virial operators.
-	ev.nd64 = resizeF(ev.nd64, len(ev.ndT))
+	ev.nd64 = tensor.Resize(ev.nd64, len(ev.ndT))
 	for i, v := range ev.ndT {
 		ev.nd64[i] = float64(v)
 	}
@@ -206,7 +262,28 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 // precision and filling atomEnergy and ev.ndT rows for those atoms. opts
 // carries the GEMM worker budget (serial when chunk-level parallelism is
 // already using the cores).
-func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
+func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ws *evalScratch[T], ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
+	if ev.perAtom {
+		return ev.evalChunkPerAtom(ctr, opts, ar, env, ci, atoms, atomEnergy)
+	}
+	return ev.evalChunkBatched(ctr, opts, ws, ar, env, ci, atoms, atomEnergy)
+}
+
+// evalChunkBatched is the chunk-batched descriptor pipeline: one strided-
+// batched GEMM per contraction over the whole chunk, operands contiguous
+// in the arena (Sec. 5.3.1's "merge matrices of multiple atoms into one
+// bigger matrix", Fig. 3's GEMM consolidation).
+//
+// Notation per atom a of the chunk (all nA atoms share type ci):
+//
+//	G_tj = embed(s)        nA*sel_tj x m   (one net forward per section)
+//	T_a  = sum_tj G^T R~/N      m x 4      GemmBatchTN, accumulated over tj
+//	D_a  = T_a (T_a[:ax])^T     m x ax     GemmBatchNT, B = head of T buffer
+//	E    = fit(D)               nA x 1
+//	dT_a = dD_a T_a[:ax] (+ head += dD_a^T T_a)   GemmBatch + GemmBatchTN
+//	dG_a = R~ dT^T / N     sel x m         GemmBatchNT
+//	dR_a = G dT / N        sel x 4         GemmBatch, scattered into ndT
+func (ev *Evaluator[T]) evalChunkBatched(ctr *perf.Counter, opts tensor.Opts, ws *evalScratch[T], ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
 	defer ar.Reset()
 	cfg := &ev.cfg
 	stride := cfg.Stride()
@@ -216,45 +293,53 @@ func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ar *tenso
 	nA := len(atoms)
 	fmtd := env.Fmt
 	invN := T(1.0 / float64(stride))
-
-	// Embedding forward per neighbor-type section.
 	nt := cfg.NumTypes()
-	traces := make([]*nn.Trace[T], nt)
+
+	// Gather each section's environment rows and s-inputs into contiguous
+	// chunk-major buffers, then run the embedding net over the whole
+	// section batch. The gathers are bandwidth-bound data movement and
+	// count under SLICE so the Fig. 3 attribution of the batched pipeline
+	// stays honest (the batched GEMMs themselves report under GEMM).
+	gatherStart := timeIf(ctr)
 	for tj := 0; tj < nt; tj++ {
 		sel := cfg.Sel[tj]
 		off := fmtd.SelOff[tj]
-		sIn := ar.TakeMatrix(nA*sel, 1)
+		sIn := ar.TakeMatrixUninit(nA*sel, 1)
+		rSec := ar.TakeUninit(nA * sel * 4)
 		for a, atom := range atoms {
 			base := (atom*stride + off) * 4
+			copy(rSec[a*sel*4:(a+1)*sel*4], ev.rT[base:base+sel*4])
 			for k := 0; k < sel; k++ {
 				sIn.Data[a*sel+k] = ev.rT[base+k*4]
 			}
 		}
-		traces[tj] = ev.embed[ci][tj].Forward(ctr, opts, ar, sIn, true)
+		ws.secR[tj] = rSec
+		ws.secS[tj] = sIn
+	}
+	observeSlice(ctr, gatherStart)
+	for tj := 0; tj < nt; tj++ {
+		ws.secG[tj] = ev.embed[ci][tj].ForwardInto(ws.embTr[tj], ctr, opts, ar, ws.secS[tj], true).Out().Data
 	}
 
-	// Per-atom descriptor contraction T_i = G^T R~ / N and
-	// D_i = T_i (T_i[:ax])^T.
-	dChunk := ar.TakeMatrix(nA, dim)
-	tis := make([]tensor.Matrix[T], nA)
-	for a, atom := range atoms {
-		ti := ar.TakeMatrix(m, 4)
-		for tj := 0; tj < nt; tj++ {
-			sel := cfg.Sel[tj]
-			off := fmtd.SelOff[tj]
-			g := traces[tj].Out()
-			gA := tensor.MatrixFrom(sel, m, g.Data[a*sel*m:(a+1)*sel*m])
-			rA := tensor.MatrixFrom(sel, 4, ev.rT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
-			tensor.GemmTN(ctr, invN, gA, rA, 1, ti)
+	// Forward descriptor contraction T_a = sum_tj G_a^T R~_a / N as one
+	// batched GEMM per section, accumulating across sections (beta = 1
+	// after the first), then the batched outer product
+	// D_a = T_a (T_a[:ax])^T — B is the ax x 4 head of each T item, an
+	// under-full stride into the same buffer.
+	tis := ar.TakeUninit(nA * m * 4)
+	for tj := 0; tj < nt; tj++ {
+		sel := cfg.Sel[tj]
+		beta := T(1)
+		if tj == 0 {
+			beta = 0
 		}
-		tis[a] = ti
-		tsub := tensor.MatrixFrom(ax, 4, ti.Data[:ax*4])
-		di := tensor.MatrixFrom(m, ax, dChunk.Data[a*dim:(a+1)*dim])
-		tensor.GemmNT(ctr, 1, ti, tsub, 0, di)
+		tensor.GemmBatchTNOpt(opts, ctr, nA, sel, m, 4, invN, ws.secG[tj], sel*m, ws.secR[tj], sel*4, beta, tis, m*4)
 	}
+	dChunk := ar.TakeMatrixUninit(nA, dim)
+	tensor.GemmBatchNTOpt(opts, ctr, nA, m, 4, ax, 1, tis, m*4, tis, m*4, 0, dChunk.Data, dim)
 
 	// Fitting net forward/backward over the chunk batch.
-	fitTr := ev.fit[ci].Forward(ctr, opts, ar, dChunk, true)
+	fitTr := ev.fit[ci].ForwardInto(&ws.fitTr, ctr, opts, ar, dChunk, true)
 	eOut := fitTr.Out()
 	var chunkE float64
 	for a, atom := range atoms {
@@ -262,56 +347,71 @@ func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ar *tenso
 		atomEnergy[atom] = e
 		chunkE += e
 	}
-	ones := ar.TakeMatrix(nA, 1)
+	ones := ar.TakeMatrixUninit(nA, 1)
 	for i := range ones.Data {
 		ones.Data[i] = 1
 	}
 	_, fitGr := ev.gradsFor(ci, 0)
 	dD := ev.fit[ci].Backward(ctr, opts, ar, fitTr, ones, fitGr)
 
-	// Per-atom backward through the descriptor contraction.
-	dGsec := make([]tensor.Matrix[T], nt)
-	for tj := 0; tj < nt; tj++ {
-		dGsec[tj] = ar.TakeMatrix(nA*cfg.Sel[tj], m)
-	}
-	for a, atom := range atoms {
-		ti := tis[a]
-		tsub := tensor.MatrixFrom(ax, 4, ti.Data[:ax*4])
-		dDa := tensor.MatrixFrom(m, ax, dD.Data[a*dim:(a+1)*dim])
-		dT := ar.TakeMatrix(m, 4)
-		tensor.Gemm(ctr, 1, dDa, tsub, 0, dT)
-		dTsub := ar.TakeMatrix(ax, 4)
-		tensor.GemmTN(ctr, 1, dDa, ti, 0, dTsub)
-		for i := range dTsub.Data {
-			dT.Data[i] += dTsub.Data[i]
-		}
-		for tj := 0; tj < nt; tj++ {
-			sel := cfg.Sel[tj]
-			off := fmtd.SelOff[tj]
-			g := traces[tj].Out()
-			gA := tensor.MatrixFrom(sel, m, g.Data[a*sel*m:(a+1)*sel*m])
-			rA := tensor.MatrixFrom(sel, 4, ev.rT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
-			dgA := tensor.MatrixFrom(sel, m, dGsec[tj].Data[a*sel*m:(a+1)*sel*m])
-			tensor.GemmNT(ctr, invN, rA, dT, 0, dgA)
-			ndA := tensor.MatrixFrom(sel, 4, ev.ndT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
-			tensor.Gemm(ctr, invN, gA, dT, 1, ndA)
+	// Batched backward through the descriptor contraction:
+	// dT_a = dD_a T_a[:ax], plus dD_a^T T_a added into the first ax rows.
+	dT := ar.TakeUninit(nA * m * 4)
+	tensor.GemmBatchOpt(opts, ctr, nA, m, ax, 4, 1, dD.Data, dim, tis, m*4, 0, dT, m*4)
+	dTsub := ar.TakeUninit(nA * ax * 4)
+	tensor.GemmBatchTNOpt(opts, ctr, nA, m, ax, 4, 1, dD.Data, dim, tis, m*4, 0, dTsub, ax*4)
+	for a := 0; a < nA; a++ {
+		dst := dT[a*m*4 : a*m*4+ax*4]
+		src := dTsub[a*ax*4 : (a+1)*ax*4]
+		for i, v := range src {
+			dst[i] += v
 		}
 	}
 
-	// Embedding backward: ds feeds the s-column of the network gradient.
+	// Per-section backward: batched dG and dR~ contractions, embedding net
+	// backward over the section batch, then one scatter into the network
+	// derivative ev.ndT (rows disjoint across chunks and sections).
 	for tj := 0; tj < nt; tj++ {
 		sel := cfg.Sel[tj]
 		off := fmtd.SelOff[tj]
+		dG := ar.TakeMatrixUninit(nA*sel, m)
+		tensor.GemmBatchNTOpt(opts, ctr, nA, sel, 4, m, invN, ws.secR[tj], sel*4, dT, m*4, 0, dG.Data, sel*m)
+		ndSec := ar.TakeUninit(nA * sel * 4)
+		tensor.GemmBatchOpt(opts, ctr, nA, sel, m, 4, invN, ws.secG[tj], sel*m, dT, m*4, 0, ndSec, sel*4)
 		embGr, _ := ev.gradsFor(ci, tj)
-		ds := ev.embed[ci][tj].Backward(ctr, opts, ar, traces[tj], dGsec[tj], embGr)
+		ds := ev.embed[ci][tj].Backward(ctr, opts, ar, ws.embTr[tj], dG, embGr)
+		scatterStart := timeIf(ctr)
 		for a, atom := range atoms {
 			base := (atom*stride + off) * 4
+			nd := ev.ndT[base : base+sel*4]
+			src := ndSec[a*sel*4 : (a+1)*sel*4]
+			for i, v := range src {
+				nd[i] += v
+			}
 			for k := 0; k < sel; k++ {
-				ev.ndT[base+k*4] += ds.Data[a*sel+k]
+				nd[k*4] += ds.Data[a*sel+k]
 			}
 		}
+		observeSlice(ctr, scatterStart)
 	}
 	return chunkE
+}
+
+// timeIf stamps the clock only when a counter is attached, so the
+// uncounted hot path pays no timer overhead for the gather/scatter
+// attribution.
+func timeIf(ctr *perf.Counter) time.Time {
+	if ctr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeSlice records gather/scatter time under the SLICE category.
+func observeSlice(ctr *perf.Counter, start time.Time) {
+	if ctr != nil {
+		ctr.AddTime(perf.CatSLICE, time.Since(start))
+	}
 }
 
 // growArenas resizes any arena whose last evaluation overflowed, so the
@@ -332,18 +432,4 @@ func shareOrConvert[T tensor.Float](n *nn.Net[float64]) *nn.Net[T] {
 		return same
 	}
 	return nn.ConvertNet[T](n)
-}
-
-func resizeF(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
-}
-
-func resizeT[T tensor.Float](s []T, n int) []T {
-	if cap(s) < n {
-		return make([]T, n)
-	}
-	return s[:n]
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active: the race
+// runtime instruments allocations and deliberately drops sync.Pool
+// entries, so the zero-allocation steady-state assertions cannot hold
+// under -race and are skipped there.
+const raceEnabled = true

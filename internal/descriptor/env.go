@@ -73,9 +73,9 @@ func (sc *Scratch) Environment(ctr *perf.Counter, cfg Config, pos []float64, typ
 
 	out := &sc.out
 	out.Nloc, out.Stride, out.Fmt = nloc, stride, fmtd
-	out.R = resize(out.R, nloc*stride*4)
-	out.DR = resize(out.DR, nloc*stride*12)
-	out.Rij = resize(out.Rij, nloc*stride*3)
+	out.R = tensor.Resize(out.R, nloc*stride*4)
+	out.DR = tensor.Resize(out.DR, nloc*stride*12)
+	out.Rij = tensor.Resize(out.Rij, nloc*stride*3)
 	clear(out.R)
 	clear(out.DR)
 	clear(out.Rij)
@@ -237,13 +237,6 @@ func disp(pos []float64, i, j int, box *neighbor.Box) [3]float64 {
 
 func vecNorm(d [3]float64) float64 {
 	return math.Sqrt(d[0]*d[0] + d[1]*d[1] + d[2]*d[2])
-}
-
-func resize(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
 }
 
 // ConvertR copies the environment matrix into the network precision; this

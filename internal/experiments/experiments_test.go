@@ -280,3 +280,52 @@ func TestGemmKernelsShape(t *testing.T) {
 		t.Fatal("gemm table missing fitting row")
 	}
 }
+
+// The descriptor-batching contrast must produce timings for both systems,
+// forces within the documented tolerance (DescriptorBatch itself errors
+// beyond 1e-9 relative), and machine-readable records for the perf
+// trajectory — the ISSUE 3 shape.
+func TestDescriptorBatchShape(t *testing.T) {
+	res, err := DescriptorBatch(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want water + copper", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.PerAtom <= 0 || r.Batched <= 0 || r.BatchedPar <= 0 {
+			t.Fatalf("%s: non-positive timing %+v", r.Label, r)
+		}
+	}
+	if !strings.Contains(res.String(), "water") || !strings.Contains(res.String(), "copper") {
+		t.Fatal("batch table missing a system row")
+	}
+	recs := res.Records()
+	if len(recs) != 6 {
+		t.Fatalf("records = %d, want 3 per system", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Experiment != "batch" || rec.NsPerOp <= 0 {
+			t.Fatalf("bad record %+v", rec)
+		}
+	}
+}
+
+// The gemm experiment's records must mirror its rows (reference + blocked
+// + parallel per shape) so the -json trajectory is complete.
+func TestGemmRecords(t *testing.T) {
+	res, err := GemmKernels(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := res.Records()
+	if len(recs) != 3*len(res.Rows) {
+		t.Fatalf("records = %d, want %d", len(recs), 3*len(res.Rows))
+	}
+	for _, rec := range recs {
+		if rec.Experiment != "gemm" || rec.NsPerOp <= 0 {
+			t.Fatalf("bad record %+v", rec)
+		}
+	}
+}

@@ -122,3 +122,17 @@ func (r *GemmResult) String() string {
 	return fmt.Sprintf("GEMM kernels: naive serial vs blocked vs blocked x %d workers (GFLOPS; parallel verified bit-identical to serial blocked)\n", r.Workers) +
 		table([]string{"layer", "MxKxN", "naive", "blocked", fmt.Sprintf("blk x%d", r.Workers), "speedup", "par speedup", "max|diff|"}, rows)
 }
+
+// Records emits the machine-readable perf trajectory rows.
+func (r *GemmResult) Records() []Record {
+	var recs []Record
+	for _, w := range r.Rows {
+		shape := fmt.Sprintf("%s-%dx%dx%d", w.Label, w.M, w.K, w.N)
+		recs = append(recs,
+			Record{Experiment: "gemm", Shape: shape + "/naive", NsPerOp: float64(w.Naive.Nanoseconds()), Speedup: 1},
+			Record{Experiment: "gemm", Shape: shape + "/blocked", NsPerOp: float64(w.Blocked.Nanoseconds()), Speedup: ratio(w.Naive, w.Blocked)},
+			Record{Experiment: "gemm", Shape: fmt.Sprintf("%s/blocked-w%d", shape, r.Workers), NsPerOp: float64(w.Par.Nanoseconds()), Speedup: ratio(w.Naive, w.Par)},
+		)
+	}
+	return recs
+}

@@ -1,0 +1,25 @@
+package experiments
+
+// Record is one machine-readable benchmark measurement. `dpbench -json`
+// collects these from every experiment that implements Recorder and prints
+// a JSON array, so the performance trajectory can be committed as
+// BENCH_*.json files and tracked across PRs (and uploaded as a CI
+// artifact).
+type Record struct {
+	// Experiment is the dpbench experiment name (e.g. "gemm", "batch").
+	Experiment string `json:"experiment"`
+	// Shape identifies the measured configuration within the experiment
+	// (layer shape, system, worker count).
+	Shape string `json:"shape"`
+	// NsPerOp is the best-of-reps wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is the ratio against the experiment's reference variant
+	// (1 for the reference itself; 0 when not applicable).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Recorder is implemented by experiment results that can report their
+// measurements as machine-readable records.
+type Recorder interface {
+	Records() []Record
+}

@@ -76,30 +76,38 @@ func (f *Formatted) TypeOfSlot(s int) int {
 }
 
 // Format converts a raw list into the optimized layout using compressed
-// 64-bit keys and a radix sort. scratch buffers grow as needed and are
-// reused across calls; pass a zero-value Formatter for fresh state.
+// 64-bit keys and a radix sort. Scratch buffers — including the returned
+// table itself — grow as needed and are reused across calls, so a warmed
+// Formatter formats without heap allocation (part of the allocation-free
+// MD step); pass a zero-value Formatter for fresh state. The returned
+// *Formatted aliases Formatter state and is valid until the next Format
+// call, the same lifetime contract as descriptor.Scratch.
 type Formatter struct {
 	keys []uint64
 	buf  []uint64
+	fill []int
+	out  Formatted
 }
 
 // Format produces the padded, sorted table from a raw list.
 func (fm *Formatter) Format(spec Spec, l *List) (*Formatted, error) {
 	stride := spec.Stride()
 	ntypes := len(spec.Sel)
-	out := &Formatted{
-		Nloc:   l.Nloc,
-		Sel:    append([]int(nil), spec.Sel...),
-		SelOff: make([]int, ntypes+1),
-		Stride: stride,
-		Idx:    make([]int32, l.Nloc*stride),
-	}
+	out := &fm.out
+	out.Nloc = l.Nloc
+	out.Sel = append(out.Sel[:0], spec.Sel...)
+	out.SelOff = tensor.Resize(out.SelOff, ntypes+1)
+	out.Stride = stride
+	out.Idx = tensor.Resize(out.Idx, l.Nloc*stride)
+	out.Overflow = 0
+	out.SelOff[0] = 0
 	for t := 0; t < ntypes; t++ {
 		out.SelOff[t+1] = out.SelOff[t] + spec.Sel[t]
 	}
 	for i := range out.Idx {
 		out.Idx[i] = -1
 	}
+	fm.fill = tensor.Resize(fm.fill, ntypes)
 	for i, nbrs := range l.Entries {
 		if cap(fm.keys) < len(nbrs) {
 			fm.keys = make([]uint64, len(nbrs))
@@ -118,7 +126,8 @@ func (fm *Formatter) Format(spec Spec, l *List) (*Formatted, error) {
 		}
 		tensor.RadixSortUint64(keys, fm.buf[:cap(fm.buf)])
 		row := out.Idx[i*stride : (i+1)*stride]
-		fill := make([]int, ntypes)
+		fill := fm.fill
+		clear(fill)
 		for _, k := range keys {
 			t, _, j := Decode(k)
 			if fill[t] >= spec.Sel[t] {

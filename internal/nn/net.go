@@ -108,22 +108,35 @@ func (t *Trace[T]) Out() tensor.Matrix[T] { return t.Ys[len(t.Ys)-1] }
 // follow, e.g. energy-only evaluation). o selects the GEMM kernel family
 // and intra-op worker count (tensor.Opts{} is the serial blocked default).
 func (n *Net[T]) Forward(ctr *perf.Counter, o tensor.Opts, ar *tensor.Arena[T], x tensor.Matrix[T], withGrad bool) *Trace[T] {
+	return n.ForwardInto(new(Trace[T]), ctr, o, ar, x, withGrad)
+}
+
+// ForwardInto is Forward reusing a caller-owned trace: the Ys/Gs slices are
+// resized in place (matrix data still comes from the arena), so a
+// steady-state caller that keeps one trace per network performs no heap
+// allocation per pass — the evaluator's per-worker scratch relies on this
+// for the paper's allocate-once MD loop (Sec. 5.2.2). Returns tr.
+func (n *Net[T]) ForwardInto(tr *Trace[T], ctr *perf.Counter, o tensor.Opts, ar *tensor.Arena[T], x tensor.Matrix[T], withGrad bool) *Trace[T] {
 	rows := x.Rows
-	tr := &Trace[T]{
-		X:  x,
-		Ys: make([]tensor.Matrix[T], len(n.Layers)),
-		Gs: make([]tensor.Matrix[T], len(n.Layers)),
-	}
+	tr.X = x
+	tr.Ys = tensor.Resize(tr.Ys, len(n.Layers))
+	tr.Gs = tensor.Resize(tr.Gs, len(n.Layers))
 	cur := x
 	for i, l := range n.Layers {
-		y := ar.TakeMatrix(rows, l.Out())
+		// Every element of y (and g) is written by the fused kernel before
+		// any read, so the un-zeroed arena take is safe and skips the
+		// memclr that dominates small-network evaluations.
+		y := ar.TakeMatrixUninit(rows, l.Out())
 		switch l.Kind {
 		case Linear:
+			// Clear any gradient left by a previous reuse of the trace:
+			// Backward keys "no activation" off Gs[i].Rows == 0.
+			tr.Gs[i] = tensor.Matrix[T]{}
 			tensor.GemmBiasOpt(o, ctr, cur, l.W, l.B, y)
 		default:
 			g := tensor.Matrix[T]{}
 			if withGrad {
-				g = ar.TakeMatrix(rows, l.Out())
+				g = ar.TakeMatrixUninit(rows, l.Out())
 			}
 			tensor.GemmBiasTanhGradOpt(o, ctr, cur, l.W, l.B, y, g)
 			tr.Gs[i] = g
@@ -222,7 +235,7 @@ func (n *Net[T]) Backward(ctr *perf.Counter, o tensor.Opts, ar *tensor.Arena[T],
 			if tr.Gs[i].Rows == 0 {
 				panic("nn: Backward requires a trace computed with withGrad = true")
 			}
-			dpre = ar.TakeMatrix(rows, l.Out())
+			dpre = ar.TakeMatrixUninit(rows, l.Out())
 			tensor.MulInto(ctr, dy, tr.Gs[i], dpre)
 		}
 		if grads != nil {
@@ -233,8 +246,9 @@ func (n *Net[T]) Backward(ctr *perf.Counter, o tensor.Opts, ar *tensor.Arena[T],
 			tensor.GemmTNOpt(o, ctr, 1, xi, dpre, 1, grads.DW[i])
 			accumulateBias(ctr, dpre, grads.DB[i])
 		}
-		// Gradient w.r.t. the layer input.
-		dx := ar.TakeMatrix(rows, l.In())
+		// Gradient w.r.t. the layer input: GemmNT with beta = 0 writes every
+		// element, so the un-zeroed take is safe.
+		dx := ar.TakeMatrixUninit(rows, l.In())
 		tensor.GemmNTOpt(o, ctr, 1, dpre, l.W, 0, dx)
 		switch l.Kind {
 		case SkipDouble:

@@ -255,3 +255,56 @@ func TestCloneIndependence(t *testing.T) {
 		t.Fatal("clone shares storage with original")
 	}
 }
+
+// ForwardInto must reuse the caller's trace without heap allocation in
+// steady state and produce outputs identical to a fresh Forward — the
+// contract the evaluator's per-worker scratch depends on for the
+// allocation-free MD step.
+func TestForwardIntoReuseNoAllocIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := NewFittingNet[float64](rng, 12, []int{16, 16}, 0.5)
+	x := tensor.NewMatrix[float64](6, 12)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	ar := testArena()
+	want := append([]float64(nil), n.Forward(nil, tensor.Opts{}, ar, x, true).Out().Data...)
+	ar.Reset()
+
+	var tr Trace[float64]
+	n.ForwardInto(&tr, nil, tensor.Opts{}, ar, x, true) // warm the slices
+	ar.Reset()
+	allocs := testing.AllocsPerRun(20, func() {
+		got := n.ForwardInto(&tr, nil, tensor.Opts{}, ar, x, true)
+		ar.Reset()
+		_ = got
+	})
+	if allocs != 0 {
+		t.Fatalf("ForwardInto allocated %.1f times per reused pass", allocs)
+	}
+	out := n.ForwardInto(&tr, nil, tensor.Opts{}, ar, x, true).Out()
+	for i, v := range out.Data {
+		if v != want[i] {
+			t.Fatalf("reused trace output[%d] = %g, fresh Forward = %g", i, v, want[i])
+		}
+	}
+	ar.Reset()
+}
+
+// Reusing a trace for a withGrad=false pass must clear the stale tanh
+// gradients of a previous withGrad=true pass: Backward keys "trace has no
+// gradients" off Gs[i].Rows == 0 and would otherwise consume stale data.
+func TestForwardIntoClearsStaleGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := NewFittingNet[float64](rng, 8, []int{10, 10}, 0)
+	x := tensor.NewMatrix[float64](3, 8)
+	ar := testArena()
+	var tr Trace[float64]
+	n.ForwardInto(&tr, nil, tensor.Opts{}, ar, x, true)
+	n.ForwardInto(&tr, nil, tensor.Opts{}, ar, x, false)
+	for i, g := range tr.Gs {
+		if g.Rows != 0 {
+			t.Fatalf("layer %d kept a stale gradient matrix after withGrad=false reuse", i)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/tensor"
 )
 
 // LennardJones is a truncated-and-shifted 12-6 potential with per
@@ -43,8 +44,8 @@ func NewLennardJones(eps, sigma, rcut float64) *LennardJones {
 // Compute implements the md.Potential seam.
 func (lj *LennardJones) Compute(pos []float64, types []int, nloc int, list *neighbor.List, box *neighbor.Box, out *core.Result) error {
 	nall := len(pos) / 3
-	out.AtomEnergy = resize(out.AtomEnergy, nloc)
-	out.Force = resize(out.Force, 3*nall)
+	out.AtomEnergy = tensor.Resize(out.AtomEnergy, nloc)
+	out.Force = tensor.Resize(out.Force, 3*nall)
 	clear(out.Force)
 	out.Energy = 0
 	out.Virial = [9]float64{}
@@ -104,11 +105,4 @@ func disp(pos []float64, i, j int, box *neighbor.Box) [3]float64 {
 		box.MinImage(&d)
 	}
 	return d
-}
-
-func resize(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
-	}
-	return s[:n]
 }

@@ -6,6 +6,7 @@ import (
 
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/tensor"
 )
 
 // SuttonChen is the Sutton-Chen EAM metal potential,
@@ -45,15 +46,15 @@ func (sc *SuttonChen) Compute(pos []float64, types []int, nloc int, list *neighb
 	if nloc != nall || box == nil {
 		return fmt.Errorf("refpot: SuttonChen requires a full periodic configuration (nloc == nall, box set)")
 	}
-	out.AtomEnergy = resize(out.AtomEnergy, nloc)
-	out.Force = resize(out.Force, 3*nall)
+	out.AtomEnergy = tensor.Resize(out.AtomEnergy, nloc)
+	out.Force = tensor.Resize(out.Force, 3*nall)
 	clear(out.Force)
 	out.Energy = 0
 	out.Virial = [9]float64{}
 	rc2 := sc.Rcut * sc.Rcut
 
 	// Pass 1: densities.
-	sc.rho = resize(sc.rho, nloc)
+	sc.rho = tensor.Resize(sc.rho, nloc)
 	clear(sc.rho)
 	for i := 0; i < nloc; i++ {
 		for _, e := range list.Entries[i] {

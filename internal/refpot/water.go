@@ -6,6 +6,7 @@ import (
 
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/tensor"
 )
 
 // ToyWater is a flexible three-site water model used as the "ab initio"
@@ -59,9 +60,9 @@ func (tw *ToyWater) Compute(pos []float64, types []int, nloc int, list *neighbor
 	if nloc%3 != 0 {
 		return fmt.Errorf("refpot: ToyWater needs (O,H,H) triplets, got %d atoms", nloc)
 	}
-	out.AtomEnergy = resize(out.AtomEnergy, nloc)
+	out.AtomEnergy = tensor.Resize(out.AtomEnergy, nloc)
 	clear(out.AtomEnergy)
-	out.Force = resize(out.Force, 3*nall)
+	out.Force = tensor.Resize(out.Force, 3*nall)
 	clear(out.Force)
 	out.Energy = 0
 	out.Virial = [9]float64{}

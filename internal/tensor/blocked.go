@@ -82,7 +82,17 @@ func getSlab[T Float](n int) *packSlab[T] {
 		p = new(packSlab[T])
 	}
 	if cap(p.buf) < n {
-		p.buf = make([]T, n)
+		// Round the new capacity up to a power of two. Differently-shaped
+		// GEMMs share the pool, so an exact-size slab handed to a larger
+		// request would reallocate on the same calls every MD step; with
+		// monotone power-of-two growth the pooled population converges to
+		// the largest request classes (bounded by kcBlock*ncBlock) and the
+		// steady-state loop stops allocating.
+		c := 1
+		for c < n {
+			c <<= 1
+		}
+		p.buf = make([]T, c)
 	}
 	p.buf = p.buf[:n]
 	return p
@@ -111,8 +121,11 @@ func gemmBlocked[T Float](workers, m, n, k int, alpha T, a []T, ari, arp int, b 
 	if 2*m*n*k < 1<<21 {
 		workers = 1
 	}
+	// Note: the pack slabs are released with explicit putSlab calls, not
+	// defer — deferring a generic call captures the type dictionary into a
+	// heap-allocated closure, which would break the allocation-free steady
+	// state the MD loop depends on.
 	bslab := getSlab[T](kcBlock * ((min(n, ncBlock) + nr - 1) / nr * nr))
-	defer putSlab(bslab)
 	for j0 := 0; j0 < n; j0 += ncBlock {
 		jb := min(ncBlock, n-j0)
 		jTiles := (jb + nr - 1) / nr
@@ -128,29 +141,47 @@ func gemmBlocked[T Float](workers, m, n, k int, alpha T, a []T, ari, arp int, b 
 				gemmRowRange(0, m, m, jb, kb, j0, p0, alpha, a, ari, arp, bbuf, jTiles, betaEff, c, ldc)
 				continue
 			}
-			var wg sync.WaitGroup
-			per := (nIBlocks + workers - 1) / workers * mcBlock
-			for lo := 0; lo < m; lo += per {
-				hi := min(m, lo+per)
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					gemmRowRange(lo, hi, m, jb, kb, j0, p0, alpha, a, ari, arp, bbuf, jTiles, betaEff, c, ldc)
-				}(lo, hi)
-			}
-			wg.Wait()
+			gemmRowBlocksParallel(workers, nIBlocks, m, jb, kb, j0, p0, alpha, a, ari, arp, bbuf, jTiles, betaEff, c, ldc)
 		}
 	}
+	putSlab(bslab)
+}
+
+// gemmRowBlocksParallel fans the C row blocks of one packed panel out over
+// the worker pool. It lives in its own function so the goroutine closure
+// captures copies of these parameters rather than gemmBlocked's loop
+// variables — a closure inside the loop would force per-iteration heap
+// cells for j0/p0/betaEff even on the serial path, breaking the
+// allocation-free steady state.
+func gemmRowBlocksParallel[T Float](workers, nIBlocks, m, jb, kb, j0, p0 int, alpha T, a []T, ari, arp int, bbuf []T, jTiles int, betaEff T, c []T, ldc int) {
+	var wg sync.WaitGroup
+	per := (nIBlocks + workers - 1) / workers * mcBlock
+	for lo := 0; lo < m; lo += per {
+		hi := min(m, lo+per)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRowRange(lo, hi, m, jb, kb, j0, p0, alpha, a, ari, arp, bbuf, jTiles, betaEff, c, ldc)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // gemmRowRange processes C row blocks [lo, hi) (multiples of mcBlock from
 // the same origin for every worker, so tiling is identical to serial).
 func gemmRowRange[T Float](lo, hi, m, jb, kb, j0, p0 int, alpha T, a []T, ari, arp int, bbuf []T, jTiles int, beta T, c []T, ldc int) {
 	aslab := getSlab[T](mcBlock * kb)
-	defer putSlab(aslab)
+	gemmRowRangeSlab(lo, hi, m, jb, kb, j0, p0, alpha, a, ari, arp, bbuf, jTiles, beta, c, ldc, aslab.buf)
+	putSlab(aslab)
+}
+
+// gemmRowRangeSlab is gemmRowRange with a caller-owned A pack buffer (of at
+// least mcBlock*kb elements); the batched engine reuses one across every
+// item of a worker's unit range.
+func gemmRowRangeSlab[T Float](lo, hi, m, jb, kb, j0, p0 int, alpha T, a []T, ari, arp int, bbuf []T, jTiles int, beta T, c []T, ldc int, aslabBuf []T) {
 	for i0 := lo; i0 < hi; i0 += mcBlock {
 		ib := min(mcBlock, hi-i0)
-		abuf := aslab.buf[:((ib+mr-1)/mr*mr)*kb]
+		abuf := aslabBuf[:((ib+mr-1)/mr*mr)*kb]
 		packABlock(abuf, a, alpha, i0, ib, p0, kb, ari, arp)
 		iTiles := (ib + mr - 1) / mr
 		for jt := 0; jt < jTiles; jt++ {

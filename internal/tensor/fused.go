@@ -82,15 +82,9 @@ func GemmBiasTanhGradOpt[T Float](o Opts, ctr *perf.Counter, a, b Matrix[T], bia
 	if wantGrad && (grad.Rows != y.Rows || grad.Cols != y.Cols) {
 		panic("tensor: GemmBiasTanhGrad gradient dimension mismatch")
 	}
-	tanhGradRange := func(lo, hi int) {
-		for i, v := range y.Data[lo:hi] {
-			t := tanhT(v)
-			y.Data[lo+i] = t
-			if wantGrad {
-				grad.Data[lo+i] = 1 - t*t
-			}
-		}
-	}
+	// The serial path must not touch the goroutine branch's closure: a
+	// shared func literal would escape to the heap on every call and break
+	// the allocation-free steady state.
 	if total := len(y.Data); o.Workers > 1 && total >= 1<<14 {
 		var wg sync.WaitGroup
 		per := (total + o.Workers - 1) / o.Workers
@@ -99,18 +93,30 @@ func GemmBiasTanhGradOpt[T Float](o Opts, ctr *perf.Counter, a, b Matrix[T], bia
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				tanhGradRange(lo, hi)
+				tanhGradRange(y.Data, grad.Data, lo, hi, wantGrad)
 			}(lo, hi)
 		}
 		wg.Wait()
 	} else {
-		tanhGradRange(0, total)
+		tanhGradRange(y.Data, grad.Data, 0, total, wantGrad)
 	}
 	flops := tanhFLOPs * int64(len(y.Data))
 	if wantGrad {
 		flops += 2 * int64(len(y.Data))
 	}
 	ctr.Observe(perf.CatTANH, start, flops)
+}
+
+// tanhGradRange applies the fused tanh / tanh-gradient pass over
+// [lo, hi) of the pre-activation in y, optionally filling grad.
+func tanhGradRange[T Float](y, grad []T, lo, hi int, wantGrad bool) {
+	for i, v := range y[lo:hi] {
+		t := tanhT(v)
+		y[lo+i] = t
+		if wantGrad {
+			grad[lo+i] = 1 - t*t
+		}
+	}
 }
 
 // TanhWithGrad computes y = tanh(x) and grad = 1 - y*y in one fused pass
