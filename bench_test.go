@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"deepmd-go/internal/compress"
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/descriptor"
 	"deepmd-go/internal/experiments"
@@ -580,6 +581,88 @@ func BenchmarkEvalBatched(b *testing.B) {
 					b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(n)*1e9, "ns/step/atom")
 				})
 			}
+		}
+	}
+}
+
+// BenchmarkEvalCompressed contrasts the tabulated-embedding pipeline
+// (ISSUE 4, the successor papers' model compression) against the
+// exact-batched pipeline on the Quick water/copper shapes and on the
+// paper's network geometry (embedding 25-50-100, fitting 240³, M' = 16 —
+// where the embedding GEMMs the table replaces dominate the step, the
+// regime the 86-PFLOPS paper targets). Both variants report allocations:
+// the compressed steady state must stay at 0 B/op. `dpbench -exp
+// compress` reports the same contrast best-of-reps with the force
+// cross-check; `-full` runs it at the full paper geometry and system.
+func BenchmarkEvalCompressed(b *testing.B) {
+	shapes := []struct {
+		label    string
+		water    bool
+		sel      []int
+		paperNet bool
+	}{
+		{"water", true, []int{12, 24}, false},
+		{"copper", false, []int{36}, false},
+		{"water-papernet", true, []int{12, 24}, true},
+	}
+	for _, s := range shapes {
+		nt := len(s.sel)
+		cfg := TinyConfig(nt)
+		cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+		cfg.Sel = s.sel
+		cfg.EmbedWidths = []int{8, 16, 32}
+		cfg.MAxis = 8
+		cfg.FitWidths = []int{32, 32, 32}
+		cfg.ChunkSize = 64
+		if s.paperNet {
+			cfg.EmbedWidths = []int{25, 50, 100}
+			cfg.MAxis = 16
+			cfg.FitWidths = []int{240, 240, 240}
+		}
+		var cell *lattice.System
+		if s.water {
+			cell = lattice.Water(4, 4, 4, lattice.WaterSpacing, 3)
+		} else {
+			c := lattice.FCC(4, 4, 4, 3.615)
+			lattice.Perturb(c, 0.05, 3)
+			cell = c
+		}
+		spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
+		list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := cell.N()
+		for _, compressed := range []bool{false, true} {
+			lbl := "batched"
+			if compressed {
+				lbl = "compressed"
+			}
+			b.Run(fmt.Sprintf("%s/%s", s.label, lbl), func(b *testing.B) {
+				model, err := core.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ev := core.NewEvaluator[float64](model)
+				if compressed {
+					if err := ev.SetCompressedEmbedding(compress.Spec{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var out core.Result
+				// Warm the arenas so the steady state is measured.
+				if err := ev.Compute(cell.Pos, cell.Types, n, list, &cell.Box, &out); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := ev.Compute(cell.Pos, cell.Types, n, list, &cell.Box, &out); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(n)*1e9, "ns/step/atom")
+			})
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 
+	"deepmd-go/internal/compress"
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/md"
 	"deepmd-go/internal/neighbor"
@@ -46,7 +47,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	dump := flag.String("dump", "", "write final configuration as XYZ")
 	perAtom := flag.Bool("peratom", false, "run the per-atom reference descriptor pipeline instead of the chunk-batched GEMMs (A/B debugging)")
+	compressed := flag.Bool("compress", false, "tabulate the embedding nets as piecewise quintics and run the compressed pipeline (the 86-PFLOPS/149-ns-day successors' model compression)")
 	flag.Parse()
+	if *compressed && *perAtom {
+		log.Fatal("-compress and -peratom are mutually exclusive execution strategies")
+	}
 
 	var sys *deepmd.System
 	var cfg core.Config
@@ -88,20 +93,44 @@ func main() {
 	mcfg := model.Cfg
 	spec := neighbor.Spec{Rcut: mcfg.Rcut, Skin: mcfg.Skin, Sel: mcfg.Sel}
 
+	// Tabulate once on the model: every rank evaluator (and a model saved
+	// later) shares the same build, exactly like the shipped compressed
+	// checkpoints of the successor papers. A checkpoint that already
+	// carries tables (possibly at a non-default resolution or domain) is
+	// used as shipped, not re-tabulated; the baseline evaluator ignores
+	// compression (newPot warns), so don't pay the build for it either.
+	if *compressed && model.Compressed == nil && *precision != "baseline" {
+		if err := model.AttachCompressedTables(compress.Spec{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	newPot := func() md.Potential {
+		setStrategy := func(ev interface {
+			SetPerAtomDescriptors(bool)
+			SetCompressedEmbedding(compress.Spec) error
+		}) {
+			if *compressed {
+				if err := ev.SetCompressedEmbedding(compress.Spec{}); err != nil {
+					log.Fatal(err)
+				}
+				return
+			}
+			ev.SetPerAtomDescriptors(*perAtom)
+		}
 		switch *precision {
 		case "mixed":
 			ev := core.NewEvaluator[float32](model)
-			ev.SetPerAtomDescriptors(*perAtom)
+			setStrategy(ev)
 			return ev
 		case "baseline":
-			if *perAtom {
-				fmt.Fprintln(os.Stderr, "dpmd: -peratom has no effect with -precision baseline (the baseline evaluator is always per-atom)")
+			if *perAtom || *compressed {
+				fmt.Fprintln(os.Stderr, "dpmd: -peratom/-compress have no effect with -precision baseline (the baseline evaluator is always per-atom, exact)")
 			}
 			return core.NewBaselineEvaluator(model)
 		default:
 			ev := core.NewEvaluator[float64](model)
-			ev.SetPerAtomDescriptors(*perAtom)
+			setStrategy(ev)
 			return ev
 		}
 	}

@@ -1,0 +1,348 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepmd-go/internal/nn"
+)
+
+// testNet returns a real embedding-net topology (plain layer, then two
+// skip-connected doubling layers) at reduced widths.
+func testNet(t testing.TB, widths ...int) *nn.Net[float64] {
+	t.Helper()
+	if len(widths) == 0 {
+		widths = []int{8, 16, 32}
+	}
+	return nn.NewEmbeddingNet[float64](rand.New(rand.NewSource(3)), widths)
+}
+
+// The table at the default resolution must reproduce the exact net far
+// below the differential-sweep tolerance: the quintic-Hermite error is
+// O(h⁶) in value and O(h⁵) in derivative, which at h ~ 2.4e-3 sits many
+// orders under the 1e-9 asserted here.
+func TestTableMatchesNetAtDefaultResolution(t *testing.T) {
+	net := testNet(t)
+	sp, err := Spec{}.WithDefaults(4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Build(net, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := net.OutDim()
+	g := make([]float64, m)
+	dg := make([]float64, m)
+	rng := rand.New(rand.NewSource(9))
+	for it := 0; it < 2000; it++ {
+		s := sp.SMin + rng.Float64()*(sp.SMax-sp.SMin)
+		tb.Eval(s, g, dg)
+		val, d1, _ := net.ForwardTaylor2(s)
+		for c := 0; c < m; c++ {
+			if d := math.Abs(g[c] - val[c]); d > 1e-9*(1+math.Abs(val[c])) {
+				t.Fatalf("s=%g channel %d: table %g vs net %g (diff %g)", s, c, g[c], val[c], d)
+			}
+			if d := math.Abs(dg[c] - d1[c]); d > 1e-7*(1+math.Abs(d1[c])) {
+				t.Fatalf("s=%g channel %d: table deriv %g vs net %g (diff %g)", s, c, dg[c], d1[c], d)
+			}
+		}
+	}
+}
+
+// The Hermite construction stores the knot samples as the u=0
+// coefficients, so knot inputs reproduce the sampled net values: bitwise
+// on a dyadic grid (where s*invH is exact and every knot lands at u = 0
+// of its right segment), and to roundoff on an arbitrary grid (where the
+// index arithmetic can land a knot at u ~ 1 of the left segment, whose
+// Hermite matching reproduces the same sample).
+func TestKnotExactness(t *testing.T) {
+	net := testNet(t)
+	for _, tc := range []struct {
+		nseg    int
+		bitwise bool
+	}{{32, true}, {37, false}} {
+		sp := Spec{SMin: 0, SMax: 2, NSeg: tc.nseg}
+		tb, err := Build(net, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := net.OutDim()
+		g := make([]float64, m)
+		dg := make([]float64, m)
+		h := tb.H()
+		for k := 0; k <= sp.NSeg; k++ {
+			s := sp.SMin + float64(k)*h
+			tb.Eval(s, g, dg)
+			val, _, _ := net.ForwardTaylor2(s)
+			for c := 0; c < m; c++ {
+				tol := 0.0
+				if !tc.bitwise || k == sp.NSeg {
+					// The right edge evaluates the last segment at u=1
+					// even on dyadic grids.
+					tol = 1e-12 * (1 + math.Abs(val[c]))
+				}
+				if d := math.Abs(g[c] - val[c]); d > tol {
+					t.Fatalf("nseg=%d knot %d channel %d: table %g vs net %g", tc.nseg, k, c, g[c], val[c])
+				}
+			}
+		}
+	}
+}
+
+// Refining the grid 2x/4x/8x must shrink the value error ~2⁶x per
+// refinement and the derivative error ~2⁵x — the quintic's convergence
+// order. Asserting the decay *rate* (with slack for the unknown constant)
+// catches a resolution regression that an absolute threshold would let
+// through: a construction bug that quietly degrades the spline to, say,
+// cubic order still passes any fixed tolerance at high NSeg.
+func TestConvergenceOrder(t *testing.T) {
+	net := testNet(t)
+	const probes = 4096
+	var errV, errD []float64
+	for _, nseg := range []int{8, 16, 32, 64} {
+		tb, err := Build(net, Spec{SMin: 0, SMax: 2, NSeg: nseg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := net.OutDim()
+		g := make([]float64, m)
+		dg := make([]float64, m)
+		maxV, maxD := 0.0, 0.0
+		for i := 0; i <= probes; i++ {
+			s := 2 * float64(i) / probes
+			tb.Eval(s, g, dg)
+			val, d1, _ := net.ForwardTaylor2(s)
+			for c := 0; c < m; c++ {
+				maxV = math.Max(maxV, math.Abs(g[c]-val[c]))
+				maxD = math.Max(maxD, math.Abs(dg[c]-d1[c]))
+			}
+		}
+		errV = append(errV, maxV)
+		errD = append(errD, maxD)
+		t.Logf("nseg=%3d  max|G err| %.3e  max|dG/ds err| %.3e", nseg, maxV, maxD)
+	}
+	for i := 1; i < len(errV); i++ {
+		// Floor guard: near roundoff the ratios flatten legitimately.
+		if errV[i] < 1e-13 || errD[i] < 1e-12 {
+			continue
+		}
+		if r := errV[i-1] / errV[i]; r < 32 {
+			t.Errorf("value error decayed only %.1fx at refinement %d, want >= 32 (~2⁶ ideal)", r, i)
+		}
+		if r := errD[i-1] / errD[i]; r < 16 {
+			t.Errorf("derivative error decayed only %.1fx at refinement %d, want >= 16 (~2⁵ ideal)", r, i)
+		}
+	}
+}
+
+// Out-of-domain inputs continue the edge polynomial linearly: value =
+// edge value + edge slope * (s - edge) with the derivative pinned to the
+// edge slope, so the tabulated surface stays C¹ and the derivative stays
+// the exact gradient of the value — clamping the value flat while
+// returning a nonzero slope would make the compressed force field
+// non-conservative for pairs closer than the domain floor. Below SMin
+// (which the exact pipeline's cutoff smoothing never produces —
+// non-neighbors map to s = 0 = SMin exactly) the same rule applies; NaN
+// lands on the lower edge.
+func TestOutOfDomainExtrapolation(t *testing.T) {
+	net := testNet(t, 4, 8)
+	sp := Spec{SMin: 0, SMax: 1.5, NSeg: 16}
+	tb, err := Build(net, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := net.OutDim()
+	at := func(s float64) ([]float64, []float64) {
+		g := make([]float64, m)
+		dg := make([]float64, m)
+		tb.Eval(s, g, dg)
+		return g, dg
+	}
+	gLo, dgLo := at(sp.SMin)
+	gHi, dgHi := at(sp.SMax)
+	cases := []struct {
+		s       float64
+		edge    float64
+		gE, dgE []float64
+		label   string
+	}{
+		{-1e-300, sp.SMin, gLo, dgLo, "denormal below"},
+		{-5, sp.SMin, gLo, dgLo, "far below"},
+		{sp.SMax + 1e-12, sp.SMax, gHi, dgHi, "just above"},
+		{sp.SMax + 3, sp.SMax, gHi, dgHi, "far above"},
+	}
+	for _, c := range cases {
+		g, dg := at(c.s)
+		delta := c.s - c.edge
+		for i := range g {
+			want := c.gE[i] + c.dgE[i]*delta
+			if g[i] != want || dg[i] != c.dgE[i] {
+				t.Fatalf("%s (s=%g): got (%g, %g), want linear continuation (%g, %g)",
+					c.label, c.s, g[i], dg[i], want, c.dgE[i])
+			}
+		}
+	}
+	// NaN lands on the lower edge with zero offset.
+	g, dg := at(math.NaN())
+	for i := range g {
+		if g[i] != gLo[i] || dg[i] != dgLo[i] {
+			t.Fatalf("NaN input: lookup differs from the lower edge")
+		}
+	}
+	// The surface is continuous across both edges (C¹ join).
+	for _, e := range []struct{ edge, outward float64 }{
+		{sp.SMin, math.Inf(-1)},
+		{sp.SMax, math.Inf(1)},
+	} {
+		gIn, _ := at(e.edge)
+		gOut, _ := at(math.Nextafter(e.edge, e.outward)) // one step outward
+		for i := range gIn {
+			if d := math.Abs(gOut[i] - gIn[i]); d > 1e-12*(1+math.Abs(gIn[i])) {
+				t.Fatalf("edge %g: value jumps by %g across the boundary", e.edge, d)
+			}
+		}
+	}
+}
+
+// EvalBatch is Eval row by row, and allocation-free (the MD hot path
+// relies on this for the zero-alloc step).
+func TestEvalBatch(t *testing.T) {
+	net := testNet(t)
+	tb, err := Build(net, Spec{SMin: 0, SMax: 2, NSeg: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tb.M
+	rng := rand.New(rand.NewSource(4))
+	const n = 137
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.Float64()*2.4 - 0.2 // includes out-of-domain rows
+	}
+	g := make([]float64, n*m)
+	dg := make([]float64, n*m)
+	tb.EvalBatch(nil, s, g, dg)
+	g1 := make([]float64, m)
+	dg1 := make([]float64, m)
+	for i := 0; i < n; i++ {
+		tb.Eval(s[i], g1, dg1)
+		for c := 0; c < m; c++ {
+			if g[i*m+c] != g1[c] || dg[i*m+c] != dg1[c] {
+				t.Fatalf("row %d channel %d: batch differs from scalar eval", i, c)
+			}
+		}
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		tb.EvalBatch(nil, s, g, dg)
+	}); allocs != 0 {
+		t.Fatalf("EvalBatch allocated %.1f times, want 0", allocs)
+	}
+}
+
+// Float32 tables track the float64 build to single-precision roundoff.
+func TestConvertFloat32(t *testing.T) {
+	net := testNet(t)
+	tb, err := Build(net, Spec{SMin: 0, SMax: 2, NSeg: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb32 := Convert[float32](tb)
+	m := tb.M
+	g, dg := make([]float64, m), make([]float64, m)
+	g32, dg32 := make([]float32, m), make([]float32, m)
+	for i := 0; i <= 500; i++ {
+		s := 2 * float64(i) / 500
+		tb.Eval(s, g, dg)
+		tb32.Eval(float32(s), g32, dg32)
+		for c := 0; c < m; c++ {
+			if d := math.Abs(float64(g32[c]) - g[c]); d > 2e-5*(1+math.Abs(g[c])) {
+				t.Fatalf("s=%g channel %d: float32 %g vs float64 %g", s, c, g32[c], g[c])
+			}
+			if d := math.Abs(float64(dg32[c]) - dg[c]); d > 2e-4*(1+math.Abs(dg[c])) {
+				t.Fatalf("s=%g channel %d: float32 deriv %g vs float64 %g", s, c, dg32[c], dg[c])
+			}
+		}
+	}
+}
+
+// Save/Load round-trips coefficients bitwise and restores the lookup
+// state, so a compressed checkpoint evaluates identically after reload.
+// The second spec is adversarial for the reconstructed segment scale:
+// 1/((SMax-SMin)/NSeg) and NSeg/(SMax-SMin) round differently for this
+// domain (1 ulp), so Load must recompute it with Build's expression or
+// every derivative would differ bitwise after reload.
+func TestIORoundTrip(t *testing.T) {
+	net := testNet(t)
+	for _, spec := range []Spec{
+		{SMin: 0.1, SMax: 1.9, NSeg: 33},
+		{SMin: 0, SMax: 0.3438825465488772, NSeg: 3554},
+	} {
+		t.Run(fmt.Sprintf("nseg=%d", spec.NSeg), func(t *testing.T) {
+			testIORoundTrip(t, net, spec)
+		})
+	}
+}
+
+func testIORoundTrip(t *testing.T, net *nn.Net[float64], spec Spec) {
+	tb, err := Build(net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SMin != tb.SMin || got.SMax != tb.SMax || got.NSeg != tb.NSeg || got.M != tb.M {
+		t.Fatalf("header mismatch: %+v vs %+v", got, tb)
+	}
+	for i := range tb.Coef {
+		if got.Coef[i] != tb.Coef[i] {
+			t.Fatalf("coefficient %d differs after round trip", i)
+		}
+	}
+	m := tb.M
+	g1, dg1 := make([]float64, m), make([]float64, m)
+	g2, dg2 := make([]float64, m), make([]float64, m)
+	for _, s := range []float64{-1, 0.1, 0.7, 1.234, 1.9, 5} {
+		tb.Eval(s, g1, dg1)
+		got.Eval(s, g2, dg2)
+		for c := 0; c < m; c++ {
+			if g1[c] != g2[c] || dg1[c] != dg2[c] {
+				t.Fatalf("s=%g: loaded table evaluates differently", s)
+			}
+		}
+	}
+}
+
+// Invalid specs are rejected, valid zero specs are filled.
+func TestSpecValidation(t *testing.T) {
+	net := testNet(t, 4, 8)
+	for _, sp := range []Spec{
+		{SMin: 1, SMax: 1, NSeg: 8},
+		{SMin: 2, SMax: 1, NSeg: 8},
+		{SMin: math.NaN(), SMax: 1, NSeg: 8},
+		{SMin: 0, SMax: math.NaN(), NSeg: 8},
+		{SMin: 0, SMax: math.Inf(1), NSeg: 8},
+		{SMin: math.Inf(-1), SMax: 1, NSeg: 8}, // would tabulate all-NaN if accepted
+		{SMin: 0, SMax: 1, NSeg: 0},
+	} {
+		if _, err := Build(net, sp); err == nil {
+			t.Errorf("Build accepted invalid spec %+v", sp)
+		}
+	}
+	sp, err := Spec{}.WithDefaults(6.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NSeg != DefaultNSeg || sp.SMin != 0 || sp.SMax <= 0 {
+		t.Fatalf("WithDefaults gave %+v", sp)
+	}
+}

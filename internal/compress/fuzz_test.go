@@ -1,0 +1,103 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepmd-go/internal/nn"
+)
+
+// FuzzCompressLookup drives the lookup with arbitrary float64 bit
+// patterns — below SMin, above SMax, exactly on knots, denormal-adjacent,
+// NaN and the infinities — and asserts the documented contract:
+//
+//   - never panics or indexes out of bounds, for any input;
+//   - out-of-domain inputs continue the edge polynomial linearly
+//     (value = edge + edge slope * offset, derivative = edge slope), so
+//     the surface stays C¹ and conservative past the domain; NaN lands
+//     on the lower edge — which is where the exact path's cutoff
+//     smoothing pins every non-neighbor (s = 0) anyway;
+//   - in-domain inputs produce finite outputs that match the exact net
+//     within the resolution-tied tolerance (out-of-domain continuations
+//     are finite exactly when the linear formula is — only astronomical
+//     inputs can overflow it).
+//
+// CI runs this for 30s alongside the GEMM fuzzers.
+func FuzzCompressLookup(f *testing.F) {
+	net := nn.NewEmbeddingNet[float64](rand.New(rand.NewSource(11)), []int{4, 8, 16})
+	sp := Spec{SMin: 0, SMax: 2.5, NSeg: 64}
+	tb, err := Build(net, sp)
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := tb.H()
+
+	seed := func(s float64) { f.Add(math.Float64bits(s)) }
+	seed(-1)                         // below SMin
+	seed(0)                          // lower edge, the padding-slot value
+	seed(math.Copysign(0, -1))       // negative zero
+	seed(5e-324)                     // smallest denormal
+	seed(-5e-324)                    // denormal below the domain
+	seed(math.Nextafter(0, -1))      //
+	seed(1.0)                        // interior
+	seed(7 * h)                      // exactly on a knot
+	seed(math.Nextafter(7*h, 0))     // adjacent below a knot
+	seed(math.Nextafter(7*h, 8))     // adjacent above a knot
+	seed(sp.SMax)                    // upper edge
+	seed(math.Nextafter(sp.SMax, 9)) // just above
+	seed(sp.SMax + 10)               // far above
+	seed(1e308)                      // huge
+	seed(math.Inf(1))                //
+	seed(math.Inf(-1))               //
+	seed(math.NaN())                 //
+
+	m := tb.M
+	g := make([]float64, m)
+	dg := make([]float64, m)
+	gRef := make([]float64, m)
+	dgRef := make([]float64, m)
+	f.Fuzz(func(t *testing.T, bits uint64) {
+		s := math.Float64frombits(bits)
+		tb.Eval(s, g, dg) // must not panic for ANY input
+
+		// Extrapolation semantics: out-of-domain lookups must equal the
+		// linear continuation of the edge polynomial, bitwise (NaN lands
+		// on the lower edge with zero offset).
+		edge, delta := s, 0.0
+		if math.IsNaN(s) {
+			edge, delta = sp.SMin, 0
+		} else if s < sp.SMin {
+			edge, delta = sp.SMin, s-sp.SMin
+		} else if s > sp.SMax {
+			edge, delta = sp.SMax, s-sp.SMax
+		}
+		tb.Eval(edge, gRef, dgRef)
+		inDomain := s >= sp.SMin && s <= sp.SMax
+		for c := 0; c < m; c++ {
+			want := gRef[c] + dgRef[c]*delta
+			same := g[c] == want || (math.IsNaN(g[c]) && math.IsNaN(want))
+			if !same || dg[c] != dgRef[c] {
+				t.Fatalf("s=%g (bits %#x): got (%g, %g) at channel %d, want linear continuation (%g, %g) from edge %g",
+					s, bits, g[c], dg[c], c, want, dgRef[c], edge)
+			}
+			if inDomain && (math.IsNaN(g[c]) || math.IsInf(g[c], 0) || math.IsNaN(dg[c]) || math.IsInf(dg[c], 0)) {
+				t.Fatalf("s=%g (bits %#x): non-finite output channel %d (g=%g dg=%g)", s, bits, c, g[c], dg[c])
+			}
+		}
+
+		// In-domain inputs additionally track the exact net under the
+		// resolution-tied tolerance (h⁶/h⁵ with a generous constant).
+		if s >= sp.SMin && s <= sp.SMax {
+			val, d1, _ := net.ForwardTaylor2(s)
+			for c := 0; c < m; c++ {
+				if d := math.Abs(g[c] - val[c]); d > 1e-7*(1+math.Abs(val[c])) {
+					t.Fatalf("s=%g channel %d: table %g vs net %g", s, c, g[c], val[c])
+				}
+				if d := math.Abs(dg[c] - d1[c]); d > 1e-5*(1+math.Abs(d1[c])) {
+					t.Fatalf("s=%g channel %d: table deriv %g vs net %g", s, c, dg[c], d1[c])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package compress
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Tables serialize like networks do (nn/io.go): always float64 on the
+// wire — the float64 build is the truth, the float32 instantiation is
+// derived at load time with Convert — through an explicit spec struct so
+// the unexported lookup state (invH) is reconstructed rather than
+// trusted from the stream.
+
+type tableSpec struct {
+	SMin, SMax float64
+	NSeg, M    int
+	Coef       []float64
+}
+
+// Save writes the table to w.
+func Save(w io.Writer, tb *Table[float64]) error {
+	return gob.NewEncoder(w).Encode(tableSpec{
+		SMin: tb.SMin, SMax: tb.SMax, NSeg: tb.NSeg, M: tb.M, Coef: tb.Coef,
+	})
+}
+
+// Load reads a table previously written by Save.
+func Load(r io.Reader) (*Table[float64], error) {
+	var sp tableSpec
+	if err := gob.NewDecoder(r).Decode(&sp); err != nil {
+		return nil, fmt.Errorf("compress: decoding table: %w", err)
+	}
+	if sp.NSeg <= 0 || sp.M <= 0 || !validDomain(sp.SMin, sp.SMax) ||
+		len(sp.Coef) != sp.NSeg*coefPerSeg*sp.M {
+		return nil, fmt.Errorf("compress: table spec inconsistent ([%g, %g], %d segments, %d channels, %d coefficients)",
+			sp.SMin, sp.SMax, sp.NSeg, sp.M, len(sp.Coef))
+	}
+	return &Table[float64]{
+		SMin: sp.SMin, SMax: sp.SMax, NSeg: sp.NSeg, M: sp.M, Coef: sp.Coef,
+		// The same expression Build uses: 1/((SMax-SMin)/NSeg) and
+		// NSeg/(SMax-SMin) differ by one ulp for many domains, which
+		// would break the bitwise-identical round trip the checkpoint
+		// contract (and TestCompressedModelRoundTrip) promises.
+		invH: 1 / ((sp.SMax - sp.SMin) / float64(sp.NSeg)),
+	}, nil
+}

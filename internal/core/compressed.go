@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"deepmd-go/internal/compress"
+	"deepmd-go/internal/perf"
+	"deepmd-go/internal/tensor"
+)
+
+// This file wires the tabulated embedding net (internal/compress) into
+// the evaluator as its third execution strategy, after the chunk-batched
+// exact pipeline and the per-atom reference loops. The descriptor
+// contraction, fitting net and customized operators are untouched; only
+// the embedding stage changes:
+//
+//	forward:  G = embed(s)        ->  one Horner sweep per neighbor row
+//	backward: ds = embed'ᵀ dG     ->  ds_i = <dG_i, tabulated dG/ds_i>
+//
+// Because the table's derivative is the exact analytic derivative of the
+// table's value, forces stay exact gradients of the (tabulated) energy
+// surface and NVE conservation is preserved under compression.
+
+// SetCompressedEmbedding switches the evaluator to the tabulated
+// embedding path. Tables come from, in order of preference: the model's
+// attached tables (a compressed checkpoint round-trips through
+// Save/Load), or a fresh build from the master double-precision nets
+// using spec (a zero Spec selects the default domain and resolution for
+// the model's cutoff). The float32 evaluator derives its tables from the
+// float64 build, mirroring how its network weights are derived.
+//
+// Compression is an inference-time strategy: parameter gradients are not
+// representable (the embedding weights no longer appear in the graph), so
+// ComputeWithGrads rejects a compressed evaluator. Training always runs
+// on the exact nets; AttachCompressedTables re-tabulates afterwards.
+func (ev *Evaluator[T]) SetCompressedEmbedding(spec compress.Spec) error {
+	nt := ev.cfg.NumTypes()
+	src := ev.master.Compressed
+	if src == nil {
+		var err error
+		if src, err = buildTables(ev.master, spec); err != nil {
+			return err
+		}
+	}
+	comp := make([][]*compress.Table[T], nt)
+	for ci := 0; ci < nt; ci++ {
+		comp[ci] = make([]*compress.Table[T], nt)
+		for tj := 0; tj < nt; tj++ {
+			if m := src[ci][tj].M; m != ev.cfg.M() {
+				return fmt.Errorf("core: compressed table (%d,%d) has %d channels, model has %d", ci, tj, m, ev.cfg.M())
+			}
+			comp[ci][tj] = convertTable[T](src[ci][tj])
+		}
+	}
+	ev.comp = comp
+	ev.strat = stratCompressed
+	return nil
+}
+
+// CompressedTableBytes reports the coefficient storage of the active
+// tables (0 when the evaluator is not currently compressed, including
+// after switching back to an exact strategy) — the memory side of the
+// successor papers' memory-for-FLOPs trade.
+func (ev *Evaluator[T]) CompressedTableBytes() int {
+	if ev.strat != stratCompressed {
+		return 0
+	}
+	total := 0
+	for _, row := range ev.comp {
+		for _, tb := range row {
+			total += tb.Bytes()
+		}
+	}
+	return total
+}
+
+// AttachCompressedTables tabulates every embedding net of the model and
+// stores the tables on the model, so Save writes them into the checkpoint
+// and a loaded model evaluates compressed without re-fitting (the
+// successor papers ship the compressed model the same way). A zero Spec
+// selects the default domain and resolution for the model's cutoff.
+func (m *Model) AttachCompressedTables(spec compress.Spec) error {
+	tabs, err := buildTables(m, spec)
+	if err != nil {
+		return err
+	}
+	m.Compressed = tabs
+	return nil
+}
+
+// buildTables fits one table per (center, neighbor) type pair from the
+// master double-precision nets.
+func buildTables(m *Model, spec compress.Spec) ([][]*compress.Table[float64], error) {
+	spec, err := spec.WithDefaults(m.Cfg.Rcut)
+	if err != nil {
+		return nil, err
+	}
+	nt := m.Cfg.NumTypes()
+	tabs := make([][]*compress.Table[float64], nt)
+	for ci := 0; ci < nt; ci++ {
+		tabs[ci] = make([]*compress.Table[float64], nt)
+		for tj := 0; tj < nt; tj++ {
+			tb, err := compress.Build(m.Embed[ci][tj], spec)
+			if err != nil {
+				return nil, fmt.Errorf("core: compressing embedding net (%d,%d): %w", ci, tj, err)
+			}
+			tabs[ci][tj] = tb
+		}
+	}
+	return tabs, nil
+}
+
+// convertTable shares the float64 table when T is float64 and converts to
+// float32 otherwise (the table analogue of shareOrConvert).
+func convertTable[T tensor.Float](tb *compress.Table[float64]) *compress.Table[T] {
+	if same, ok := any(tb).(*compress.Table[T]); ok {
+		return same
+	}
+	return compress.Convert[T](tb)
+}
+
+// tableBackward computes the compressed embedding backward pass: the
+// gradient w.r.t. the scalar table input of every neighbor row is the dot
+// product of that row's output gradient with its tabulated derivative,
+// ds_i = Σ_c dG[i,c]·dGds[i,c]. One row-dot sweep (tensor.DotRows, which
+// reports under GEMM — the work it replaces, Fig. 3) stands in for the
+// embedding net's three backward GEMMs.
+func tableBackward[T tensor.Float](ctr *perf.Counter, ar *tensor.Arena[T], dG, dGds []T, rows, m int) []T {
+	ds := ar.TakeUninit(rows)
+	tensor.DotRows(ctr, dG, dGds, ds, m)
+	return ds
+}

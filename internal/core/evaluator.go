@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deepmd-go/internal/compress"
 	"deepmd-go/internal/descriptor"
 	"deepmd-go/internal/neighbor"
 	"deepmd-go/internal/nn"
@@ -33,12 +34,15 @@ type Result struct {
 // chunk are laid out contiguously in the arena and contracted with a
 // handful of strided-batched GEMM calls, instead of four per-atom loops of
 // tiny products. SetPerAtomDescriptors restores the per-atom loops — the
-// differential oracle and the 2018-granularity reference.
+// differential oracle and the 2018-granularity reference — and
+// SetCompressedEmbedding replaces the embedding networks with tabulated
+// piecewise quintics (internal/compress), the third execution strategy.
 type Evaluator[T tensor.Float] struct {
-	cfg   Config
-	dcfg  descriptor.Config
-	embed [][]*nn.Net[T]
-	fit   []*nn.Net[T]
+	cfg    Config
+	dcfg   descriptor.Config
+	master *Model
+	embed  [][]*nn.Net[T]
+	fit    []*nn.Net[T]
 
 	// Counter receives FLOPs and per-category operator times; nil is
 	// allowed.
@@ -54,13 +58,31 @@ type Evaluator[T tensor.Float] struct {
 	byType  [][]int
 	jobs    []chunkJob
 	chunkE  []float64
-	perAtom bool
+	strat   strategy
+	// comp[ci][tj] is the tabulated embedding net for (center, neighbor)
+	// type pair, populated by SetCompressedEmbedding.
+	comp [][]*compress.Table[T]
 
 	// gemmWorkers is the row-block goroutine count handed to the blocked
 	// GEMM kernels when the chunk loop runs serially (defaults to
 	// cfg.Workers; see Compute).
 	gemmWorkers int
 }
+
+// strategy selects the execution strategy of the descriptor stage.
+type strategy int
+
+const (
+	// stratBatched is the default chunk-batched strided-GEMM pipeline
+	// with exact embedding nets (Sec. 5.3.1).
+	stratBatched strategy = iota
+	// stratPerAtom is the retained per-atom reference loop (2018
+	// granularity, the differential oracle).
+	stratPerAtom
+	// stratCompressed is the batched pipeline with the embedding nets
+	// replaced by tabulated quintics (the successor papers' compression).
+	stratCompressed
+)
 
 // chunkJob is one same-type atom chunk of an evaluation.
 type chunkJob struct {
@@ -79,6 +101,7 @@ type evalScratch[T tensor.Float] struct {
 	secR  [][]T              // gathered environment rows per section, arena-backed
 	secS  []tensor.Matrix[T] // gathered s-inputs per section, arena-backed
 	secG  [][]T              // embedding outputs per section (trace views)
+	secDG [][]T              // tabulated dG/ds per section (compressed path), arena-backed
 }
 
 func newEvalScratch[T tensor.Float](nt int) *evalScratch[T] {
@@ -87,6 +110,7 @@ func newEvalScratch[T tensor.Float](nt int) *evalScratch[T] {
 		secR:  make([][]T, nt),
 		secS:  make([]tensor.Matrix[T], nt),
 		secG:  make([][]T, nt),
+		secDG: make([][]T, nt),
 	}
 	for tj := range ws.embTr {
 		ws.embTr[tj] = new(nn.Trace[T])
@@ -106,6 +130,7 @@ func NewEvaluator[T tensor.Float](m *Model) *Evaluator[T] {
 			RcutSmth: cfg.RcutSmth,
 			Sel:      cfg.Sel,
 		},
+		master: m,
 		embed:  make([][]*nn.Net[T], nt),
 		fit:    make([]*nn.Net[T], nt),
 		byType: make([][]int, nt),
@@ -139,9 +164,15 @@ func (ev *Evaluator[T]) SetGemmWorkers(n int) {
 // chunk-batched GEMMs and the retained per-atom reference loops (the
 // computational granularity the 2018 DeePMD-kit used, and the differential
 // oracle the equivalence tests compare against). The mathematics is
-// identical; only the execution strategy changes.
+// identical; only the execution strategy changes. Turning the per-atom
+// path off restores the exact chunk-batched pipeline, also when the
+// evaluator was previously compressed.
 func (ev *Evaluator[T]) SetPerAtomDescriptors(on bool) {
-	ev.perAtom = on
+	if on {
+		ev.strat = stratPerAtom
+	} else {
+		ev.strat = stratBatched
+	}
 }
 
 // ArenaBytes reports the total arena slab size; the mixed-precision
@@ -263,7 +294,7 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 // carries the GEMM worker budget (serial when chunk-level parallelism is
 // already using the cores).
 func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ws *evalScratch[T], ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
-	if ev.perAtom {
+	if ev.strat == stratPerAtom {
 		return ev.evalChunkPerAtom(ctr, opts, ar, env, ci, atoms, atomEnergy)
 	}
 	return ev.evalChunkBatched(ctr, opts, ws, ar, env, ci, atoms, atomEnergy)
@@ -317,7 +348,19 @@ func (ev *Evaluator[T]) evalChunkBatched(ctr *perf.Counter, opts tensor.Opts, ws
 		ws.secS[tj] = sIn
 	}
 	observeSlice(ctr, gatherStart)
+	compressed := ev.strat == stratCompressed
 	for tj := 0; tj < nt; tj++ {
+		if compressed {
+			// Tabulated embedding: one Horner sweep yields the section's
+			// values AND its s-derivatives — the latter are the whole
+			// embedding backward pass (see the dot product below).
+			sel := cfg.Sel[tj]
+			g := ar.TakeUninit(nA * sel * m)
+			dg := ar.TakeUninit(nA * sel * m)
+			ev.comp[ci][tj].EvalBatch(ctr, ws.secS[tj].Data, g, dg)
+			ws.secG[tj], ws.secDG[tj] = g, dg
+			continue
+		}
 		ws.secG[tj] = ev.embed[ci][tj].ForwardInto(ws.embTr[tj], ctr, opts, ar, ws.secS[tj], true).Out().Data
 	}
 
@@ -378,8 +421,13 @@ func (ev *Evaluator[T]) evalChunkBatched(ctr *perf.Counter, opts tensor.Opts, ws
 		tensor.GemmBatchNTOpt(opts, ctr, nA, sel, 4, m, invN, ws.secR[tj], sel*4, dT, m*4, 0, dG.Data, sel*m)
 		ndSec := ar.TakeUninit(nA * sel * 4)
 		tensor.GemmBatchOpt(opts, ctr, nA, sel, m, 4, invN, ws.secG[tj], sel*m, dT, m*4, 0, ndSec, sel*4)
-		embGr, _ := ev.gradsFor(ci, tj)
-		ds := ev.embed[ci][tj].Backward(ctr, opts, ar, ws.embTr[tj], dG, embGr)
+		var ds []T
+		if compressed {
+			ds = tableBackward(ctr, ar, dG.Data, ws.secDG[tj], nA*sel, m)
+		} else {
+			embGr, _ := ev.gradsFor(ci, tj)
+			ds = ev.embed[ci][tj].Backward(ctr, opts, ar, ws.embTr[tj], dG, embGr).Data
+		}
 		scatterStart := timeIf(ctr)
 		for a, atom := range atoms {
 			base := (atom*stride + off) * 4
@@ -389,7 +437,7 @@ func (ev *Evaluator[T]) evalChunkBatched(ctr *perf.Counter, opts tensor.Opts, ws
 				nd[i] += v
 			}
 			for k := 0; k < sel; k++ {
-				nd[k*4] += ds.Data[a*sel+k]
+				nd[k*4] += ds[a*sel+k]
 			}
 		}
 		observeSlice(ctr, scatterStart)

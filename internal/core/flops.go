@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 
+	"deepmd-go/internal/compress"
 	"deepmd-go/internal/nn"
 )
 
@@ -32,13 +33,8 @@ func (c *Config) FLOPsPerAtomStep(typeFrac []float64) float64 {
 		if frac == 0 {
 			continue
 		}
-		var per float64
 		// Embedding: every padded slot is processed (branch-free layout).
-		for tj := range c.Sel {
-			rows := c.Sel[tj]
-			per += float64(emb.ForwardFLOPs(rows, true))
-			per += float64(emb.BackwardFLOPs(rows))
-		}
+		per := embedFLOPsPerAtom(c, emb)
 		// Descriptor contractions per atom:
 		//   T = G^T R~ / N        2*m*4*stride
 		//   D = T Tsub^T          2*m*ax*4
@@ -58,4 +54,43 @@ func (c *Config) FLOPsPerAtomStep(typeFrac []float64) float64 {
 		_ = ci
 	}
 	return total
+}
+
+// embedFLOPsPerAtom charges the embedding forward+backward work for one
+// atom: every padded neighbor slot of every section runs through the
+// net. All (center, neighbor) embedding nets share the same widths, so
+// the charge is identical for every center type and composition averages
+// are the value itself — the single source both FLOPsPerAtomStep and
+// EmbedFLOPsPerAtomStep draw from, so the compression factor
+// (total - embed + table)/total cannot drift out of sync with the total.
+func embedFLOPsPerAtom(c *Config, emb *nn.Net[float64]) float64 {
+	var per float64
+	for tj := range c.Sel {
+		rows := c.Sel[tj]
+		per += float64(emb.ForwardFLOPs(rows, true))
+		per += float64(emb.BackwardFLOPs(rows))
+	}
+	return per
+}
+
+// EmbedFLOPsPerAtomStep returns the embedding-net share of
+// FLOPsPerAtomStep: the per-neighbor forward and backward network work
+// that model compression replaces with a table lookup. The share grows
+// with the padded neighbor count, which is why compression pays more for
+// copper (sel 500) than water (sel 138) — exactly the trend of the
+// successor papers. Center-type independent (see embedFLOPsPerAtom), so
+// no composition argument is needed.
+func (c *Config) EmbedFLOPsPerAtomStep() float64 {
+	rng := rand.New(rand.NewSource(1))
+	return embedFLOPsPerAtom(c, nn.NewEmbeddingNet[float64](rng, c.EmbedWidths))
+}
+
+// CompressedEmbedFLOPsPerAtomStep returns the tabulated replacement's
+// per-atom cost: one Horner sweep per padded neighbor slot
+// (compress.EvalFLOPsPerChannel per channel, value + derivative) plus the
+// collapsed backward dot (2 FLOPs per channel). The ratio against
+// EmbedFLOPsPerAtomStep is the compression factor the Summit projection
+// uses (internal/perfmodel).
+func (c *Config) CompressedEmbedFLOPsPerAtomStep() float64 {
+	return float64(c.Stride()) * float64(c.M()) * (compress.EvalFLOPsPerChannel + 2)
 }

@@ -58,6 +58,11 @@ func (ev *Evaluator[T]) ComputeWithGrads(pos []float64, types []int, nloc int, l
 	if len(ev.arenas) > 1 {
 		return fmt.Errorf("core: parameter gradients require Workers = 1")
 	}
+	if ev.strat == stratCompressed {
+		// The tabulated embedding has no weights in the graph; training
+		// runs on the exact nets and re-tabulates afterwards.
+		return fmt.Errorf("core: parameter gradients are unavailable on the compressed embedding path")
+	}
 	ev.grads = grads
 	defer func() { ev.grads = nil }()
 	return ev.Compute(pos, types, nloc, list, box, out)

@@ -7,14 +7,19 @@ import (
 	"io"
 	"os"
 
+	"deepmd-go/internal/compress"
 	"deepmd-go/internal/nn"
 )
 
 // The model file is a gob stream: a header with the Config, followed by
 // every network in deterministic order (embedding nets row-major by
-// (center, neighbor) type, then fitting nets by type). Weights are always
-// stored in double precision; the mixed-precision evaluator converts at
-// load time (Sec. 5.2.3).
+// (center, neighbor) type, then fitting nets by type), followed by an
+// optional compression section — a count (0 when no tables are attached)
+// and the tabulated embedding nets in the same row-major order. Weights
+// and table coefficients are always stored in double precision; the
+// mixed-precision evaluator converts at load time (Sec. 5.2.3). Files
+// written before the compression section existed simply end after the
+// fitting nets and load as uncompressed models.
 
 // Save writes the model to w.
 func (m *Model) Save(w io.Writer) error {
@@ -25,6 +30,20 @@ func (m *Model) Save(w io.Writer) error {
 	for _, net := range m.Nets() {
 		if err := nn.Save(w, net); err != nil {
 			return err
+		}
+	}
+	ntab := 0
+	if m.Compressed != nil {
+		ntab = len(m.Compressed) * len(m.Compressed)
+	}
+	if err := gob.NewEncoder(w).Encode(ntab); err != nil {
+		return fmt.Errorf("core: encoding table count: %w", err)
+	}
+	for _, row := range m.Compressed {
+		for _, tb := range row {
+			if err := compress.Save(w, tb); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -68,6 +87,32 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("core: loading fitting net %d: %w", ci, err)
 		}
 		m.Fit[ci] = net
+	}
+	// Optional compression section; absent in pre-compression files,
+	// which end exactly here.
+	var ntab int
+	if err := gob.NewDecoder(r).Decode(&ntab); err != nil {
+		if err == io.EOF {
+			return m, nil
+		}
+		return nil, fmt.Errorf("core: decoding table count: %w", err)
+	}
+	if ntab == 0 {
+		return m, nil
+	}
+	if ntab != nt*nt {
+		return nil, fmt.Errorf("core: %d compressed tables for %d type pairs", ntab, nt*nt)
+	}
+	m.Compressed = make([][]*compress.Table[float64], nt)
+	for ci := 0; ci < nt; ci++ {
+		m.Compressed[ci] = make([]*compress.Table[float64], nt)
+		for tj := 0; tj < nt; tj++ {
+			tb, err := compress.Load(r)
+			if err != nil {
+				return nil, fmt.Errorf("core: loading compressed table (%d,%d): %w", ci, tj, err)
+			}
+			m.Compressed[ci][tj] = tb
+		}
 	}
 	return m, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 
+	"deepmd-go/internal/compress"
 	"deepmd-go/internal/nn"
 )
 
@@ -18,6 +19,11 @@ type Model struct {
 	// Fit[ci] maps the flattened descriptor of a type-ci atom to its
 	// atomic energy contribution E_i.
 	Fit []*nn.Net[float64]
+	// Compressed, when non-nil, holds the tabulated embedding nets
+	// (AttachCompressedTables); it is serialized with the checkpoint so a
+	// compressed model round-trips, and evaluators prefer it over
+	// re-fitting in SetCompressedEmbedding. Indexed like Embed.
+	Compressed [][]*compress.Table[float64]
 }
 
 // New constructs a model with freshly initialized weights.
@@ -72,6 +78,8 @@ func (m *Model) Nets() []*nn.Net[float64] {
 }
 
 // Clone returns a deep copy (used for the trainer's best-model snapshot).
+// Attached compression tables are not cloned: they are a derived artifact
+// of the weights at tabulation time, and the snapshot's weights move on.
 func (m *Model) Clone() *Model {
 	out := &Model{Cfg: m.Cfg, Embed: make([][]*nn.Net[float64], len(m.Embed))}
 	for ci, row := range m.Embed {

@@ -312,6 +312,48 @@ func TestDescriptorBatchShape(t *testing.T) {
 	}
 }
 
+// The compression contrast must produce timings, table metadata and a
+// Summit projection for both systems, forces within the documented
+// resolution-tied tolerance (CompressEmbedding itself errors beyond 1e-7
+// relative), and machine-readable records — the ISSUE 4 shape.
+func TestCompressEmbeddingShape(t *testing.T) {
+	res, err := CompressEmbedding(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Projection) != 2 {
+		t.Fatalf("rows = %d, projections = %d, want water + copper in both", len(res.Rows), len(res.Projection))
+	}
+	for _, r := range res.Rows {
+		if r.Batched <= 0 || r.Compressed <= 0 || r.CompressedPar <= 0 || r.BuildTime <= 0 {
+			t.Fatalf("%s: non-positive timing %+v", r.Label, r)
+		}
+		if r.TableBytes <= 0 {
+			t.Fatalf("%s: no table storage reported", r.Label)
+		}
+	}
+	for _, p := range res.Projection {
+		if p.WorkRemaining <= 0 || p.WorkRemaining >= 1 {
+			t.Fatalf("%s: compression factor %.3f outside (0, 1)", p.Label, p.WorkRemaining)
+		}
+		if p.GainDouble <= 1 || p.GainMixed <= 1 || p.GainStrongLimit <= 1 {
+			t.Fatalf("%s: projected gains must exceed 1x: %+v", p.Label, p)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "water") || !strings.Contains(s, "Summit projection") {
+		t.Fatal("compress table missing a system row or the projection block")
+	}
+	recs := res.Records()
+	if len(recs) != 6 {
+		t.Fatalf("records = %d, want 3 per system", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Experiment != "compress" || rec.NsPerOp <= 0 {
+			t.Fatalf("bad record %+v", rec)
+		}
+	}
+}
+
 // The gemm experiment's records must mirror its rows (reference + blocked
 // + parallel per shape) so the -json trajectory is complete.
 func TestGemmRecords(t *testing.T) {

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// ForwardTaylor2 evaluates a scalar-input network together with its first
+// and second derivatives with respect to the input, by propagating the
+// degree-2 Taylor coefficients (value, d/ds, d²/ds²) through every layer
+// in double precision. This is what the table compression of the successor
+// papers (Lu et al., "86 PFLOPS"; Li et al., "149 ns/day") needs from the
+// embedding net: exact knot values and derivatives to Hermite-fit the
+// piecewise quintics, without finite differencing.
+//
+// The propagation rules per layer, with x the input vector of the layer
+// and primes denoting d/ds:
+//
+//	linear:  z = xW + b     z' = x'W      z'' = x''W
+//	tanh:    t = tanh(z)    t' = (1-t²)z' t'' = (1-t²)z'' - 2t(1-t²)z'²
+//	skips add the corresponding Taylor coefficients of x.
+//
+// Weights are converted to float64 on the fly, so the float32 instantiation
+// reports the derivatives of the double-precision value of its weights —
+// adequate for table construction, which always runs on the master net.
+// Panics if the network input width is not 1.
+func (n *Net[T]) ForwardTaylor2(s float64) (val, d1, d2 []float64) {
+	if n.InDim() != 1 {
+		panic(fmt.Sprintf("nn: ForwardTaylor2 requires a scalar-input net, got input width %d", n.InDim()))
+	}
+	x, dx, ddx := []float64{s}, []float64{1}, []float64{0}
+	for _, l := range n.Layers {
+		in, out := l.In(), l.Out()
+		z := make([]float64, out)
+		dz := make([]float64, out)
+		ddz := make([]float64, out)
+		for j := 0; j < out; j++ {
+			z[j] = float64(l.B[j])
+		}
+		for i := 0; i < in; i++ {
+			xi, dxi, ddxi := x[i], dx[i], ddx[i]
+			row := l.W.Data[i*out : (i+1)*out]
+			for j, w := range row {
+				wf := float64(w)
+				z[j] += xi * wf
+				dz[j] += dxi * wf
+				ddz[j] += ddxi * wf
+			}
+		}
+		if l.Kind != Linear {
+			for j := 0; j < out; j++ {
+				t := math.Tanh(z[j])
+				g := 1 - t*t
+				z[j] = t
+				ddz[j] = g*ddz[j] - 2*t*g*dz[j]*dz[j]
+				dz[j] = g * dz[j]
+			}
+			switch l.Kind {
+			case SkipDouble:
+				for j := 0; j < out; j++ {
+					z[j] += x[j%in]
+					dz[j] += dx[j%in]
+					ddz[j] += ddx[j%in]
+				}
+			case SkipSame:
+				for j := 0; j < out; j++ {
+					z[j] += x[j]
+					dz[j] += dx[j]
+					ddz[j] += ddx[j]
+				}
+			}
+		}
+		x, dx, ddx = z, dz, ddz
+	}
+	return x, dx, ddx
+}

@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepmd-go/internal/tensor"
+)
+
+// scalarAt evaluates the net on one scalar input via the ordinary forward
+// pass (the independent reference for the Taylor propagation).
+func scalarAt(n *Net[float64], s float64) []float64 {
+	ar := tensor.NewArena[float64](1 << 14)
+	x := tensor.MatrixFrom(1, 1, []float64{s})
+	out := n.Forward(nil, tensor.Opts{}, ar, x, false).Out()
+	cp := make([]float64, len(out.Data))
+	copy(cp, out.Data)
+	return cp
+}
+
+// ForwardTaylor2's value must equal the ordinary forward pass, and its
+// first/second derivatives must match central finite differences of it —
+// across the embedding topology (Plain + SkipDouble) and a scalar-input
+// fitting topology (Plain + SkipSame + Linear head).
+func TestForwardTaylor2MatchesFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nets := map[string]*Net[float64]{
+		"embedding": NewEmbeddingNet[float64](rng, []int{6, 12, 24}),
+		"fitting":   NewFittingNet[float64](rng, 1, []int{8, 8}, 0.3),
+	}
+	const h = 1e-4
+	for name, n := range nets {
+		for _, s := range []float64{0, 0.05, 0.5, 1.3, 2.0} {
+			val, d1, d2 := n.ForwardTaylor2(s)
+			f0 := scalarAt(n, s)
+			fp := scalarAt(n, s+h)
+			fm := scalarAt(n, s-h)
+			for c := range val {
+				if d := math.Abs(val[c] - f0[c]); d > 1e-12*(1+math.Abs(f0[c])) {
+					t.Fatalf("%s s=%g channel %d: Taylor value %g vs forward %g", name, s, c, val[c], f0[c])
+				}
+				fd1 := (fp[c] - fm[c]) / (2 * h)
+				if d := math.Abs(d1[c] - fd1); d > 1e-6*(1+math.Abs(fd1)) {
+					t.Fatalf("%s s=%g channel %d: Taylor d1 %g vs FD %g", name, s, c, d1[c], fd1)
+				}
+				fd2 := (fp[c] - 2*f0[c] + fm[c]) / (h * h)
+				if d := math.Abs(d2[c] - fd2); d > 1e-4*(1+math.Abs(fd2)) {
+					t.Fatalf("%s s=%g channel %d: Taylor d2 %g vs FD %g", name, s, c, d2[c], fd2)
+				}
+			}
+		}
+	}
+}
+
+// The scalar-input restriction is enforced.
+func TestForwardTaylor2RequiresScalarInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := NewFittingNet[float64](rng, 3, []int{8}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForwardTaylor2 accepted a 3-wide input net")
+		}
+	}()
+	n.ForwardTaylor2(0.5)
+}

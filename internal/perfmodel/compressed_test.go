@@ -1,0 +1,76 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"deepmd-go/internal/core"
+)
+
+// computeFrac derives the compression factor from core's analytic
+// operator counts for a paper model geometry.
+func computeFrac(cfg core.Config, typeFrac []float64) float64 {
+	total := cfg.FLOPsPerAtomStep(typeFrac)
+	embed := cfg.EmbedFLOPsPerAtomStep()
+	table := cfg.CompressedEmbedFLOPsPerAtomStep()
+	return (total - embed + table) / total
+}
+
+// The mixed+compressed Summit projection: tabulating the embedding net
+// must remove the dominant share of the per-atom work (more for copper,
+// whose padded neighbor count is larger) and translate into a
+// multiple-fold end-to-end gain at high atoms-per-GPU — the regime where
+// the 86-PFLOPS paper reports its largest improvements over the SC '20
+// baseline — while shrinking toward 1x at the strong-scaling limit where
+// the fixed per-step overhead dominates and compression cannot help.
+func TestCompressedSummitProjection(t *testing.T) {
+	m := Summit()
+	cases := []struct {
+		sys      SystemModel
+		cfg      core.Config
+		typeFrac []float64
+	}{
+		{WaterModel(), core.WaterConfig(), []float64{1.0 / 3, 2.0 / 3}},
+		{CopperModel(), core.CopperConfig(), []float64{1}},
+	}
+	fracs := make([]float64, len(cases))
+	for i, c := range cases {
+		frac := computeFrac(c.cfg, c.typeFrac)
+		fracs[i] = frac
+		if frac <= 0 || frac >= 0.6 {
+			t.Errorf("%s: compression leaves %.0f%% of the work; the embedding share should dominate (want < 60%% remaining)",
+				c.sys.Name, 100*frac)
+		}
+		// Work-bound regime (weak-scaling operating point of Fig. 6):
+		// the projected gain approaches the raw compute reduction.
+		perGPU := 113_246_208 / (4560 * 6)
+		for _, mixed := range []bool{false, true} {
+			gain := c.sys.CompressedGain(m, perGPU, mixed, frac)
+			if gain < 1.5 || gain > 1/frac+0.01 {
+				t.Errorf("%s mixed=%v: projected gain %.2fx outside (1.5, %.2f]", c.sys.Name, mixed, gain, 1/frac)
+			}
+			// Overhead-bound regime (27,360-GPU strong-scaling limit,
+			// ~460 atoms/GPU): gain must collapse toward the overhead
+			// floor, staying strictly smaller than the work-bound gain.
+			small := c.sys.CompressedGain(m, 460, mixed, frac)
+			if small >= gain {
+				t.Errorf("%s mixed=%v: strong-scaling-limit gain %.2fx not below work-bound gain %.2fx", c.sys.Name, mixed, small, gain)
+			}
+			if ctts := c.sys.CompressedTtS(m, perGPU, mixed, frac); ctts >= c.sys.TtS(m, perGPU, mixed) {
+				t.Errorf("%s mixed=%v: compressed TtS not faster", c.sys.Name, mixed)
+			}
+		}
+	}
+	// Copper's larger neighbor capacity means compression removes more of
+	// its work than water's — the successor papers' reported trend.
+	if fracs[1] >= fracs[0] {
+		t.Errorf("copper computeFrac %.3f not below water's %.3f", fracs[1], fracs[0])
+	}
+	t.Logf("water: %.1f%% of work remains, projected gains %.2fx (double) / %.2fx (mixed) at Fig. 6 load",
+		100*fracs[0],
+		cases[0].sys.CompressedGain(m, 402_653_184/(4560*6), false, fracs[0]),
+		cases[0].sys.CompressedGain(m, 402_653_184/(4560*6), true, fracs[0]))
+	t.Logf("copper: %.1f%% of work remains, projected gains %.2fx (double) / %.2fx (mixed) at Fig. 6 load",
+		100*fracs[1],
+		cases[1].sys.CompressedGain(m, 113_246_208/(4560*6), false, fracs[1]),
+		cases[1].sys.CompressedGain(m, 113_246_208/(4560*6), true, fracs[1]))
+}

@@ -100,14 +100,11 @@ func CopperModel() SystemModel {
 	}
 }
 
-// TtS predicts the per-step wall time of one GPU holding n atoms.
+// TtS predicts the per-step wall time of one GPU holding n atoms: the
+// uncompressed model is the compression factor 1 case, so the eff/peak/
+// overhead calibration lives in one place (CompressedTtS).
 func (s SystemModel) TtS(m Machine, atomsPerGPU int, mixed bool) time.Duration {
-	eff, peak, over := s.EffDouble, m.GPUDoubleTF*1e12, s.OverheadDouble
-	if mixed {
-		eff, peak, over = s.EffMixed, m.GPUSingleTF*1e12, s.OverheadMixed
-	}
-	compute := float64(atomsPerGPU) * s.FLOPsPerAtom / (eff * peak)
-	return time.Duration(compute*float64(time.Second)) + over
+	return s.CompressedTtS(m, atomsPerGPU, mixed, 1)
 }
 
 // GhostCount predicts the ghost atoms per GPU for a cubic sub-domain.
