@@ -12,6 +12,7 @@ package deepmd
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"deepmd-go/internal/compress"
@@ -582,6 +583,77 @@ func BenchmarkEvalBatched(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkEngineServe measures aggregate evaluation throughput of ONE
+// goroutine-safe Engine under 1, 2, 4 and 8 concurrent callers (ISSUE 5
+// acceptance: >= 3x aggregate throughput at 8 callers vs 1 on a
+// multi-core machine, 0 B/op steady state — each caller borrows a pooled
+// evaluator with warm arenas, so the only possible scaling loss is pool
+// handoff). Per-evaluator Workers stays 1: serving parallelism comes from
+// independent requests, not from splitting one request. On a single-core
+// host the concurrent rows only verify the pool adds no meaningful
+// overhead; `dpbench -exp serve` reports the same contrast best-of-reps
+// with the bit-identity cross-check.
+func BenchmarkEngineServe(b *testing.B) {
+	cfg := TinyConfig(2)
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+	cfg.Sel = []int{12, 24}
+	model, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cell := lattice.Water(4, 4, 4, lattice.WaterSpacing, 1)
+	spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
+	list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := cell.N()
+	for _, conc := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			eng, err := Open(model, WithWorkers(1), WithMaxConcurrency(conc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm every pooled evaluator's arenas so the measured loop is
+			// the steady state.
+			if err := eng.Prewarm(cell.Pos, cell.Types, n, list, &cell.Box); err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			b.ReportAllocs()
+			b.ResetTimer()
+			// b.N total evaluations, fanned over conc goroutines.
+			per := b.N / conc
+			rem := b.N % conc
+			errs := make([]error, conc)
+			for g := 0; g < conc; g++ {
+				k := per
+				if g < rem {
+					k++
+				}
+				wg.Add(1)
+				go func(g, k int) {
+					defer wg.Done()
+					var out core.Result
+					for i := 0; i < k; i++ {
+						if err := eng.EvaluateInto(cell.Pos, cell.Types, n, list, &cell.Box, &out); err != nil {
+							errs[g] = err
+							return
+						}
+					}
+				}(g, k)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+		})
 	}
 }
 

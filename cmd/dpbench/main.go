@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|neighbor|gemm|batch|compress|all
+//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|neighbor|gemm|batch|compress|serve|all
 //	        [-full] [-ranks N] [-workers N] [-json]
 //
 // By default experiments run at Quick scale (seconds on one CPU core);
@@ -25,10 +25,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, neighbor, gemm, batch, compress, all")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, neighbor, gemm, batch, compress, serve, all")
 	full := flag.Bool("full", false, "use paper-scale networks and larger systems (slow on CPU)")
 	ranks := flag.Int("ranks", 4, "simulated ranks for setup/scaling experiments")
-	workers := flag.Int("workers", 8, "max goroutines for the neighbor, gemm and batch experiments")
+	workers := flag.Int("workers", 8, "max goroutines for the neighbor, gemm and batch experiments; concurrent callers for serve")
 	jsonOut := flag.Bool("json", false, "print machine-readable JSON records instead of tables")
 	flag.Parse()
 
@@ -71,6 +71,7 @@ func main() {
 		"gemm":     func() (any, error) { return experiments.GemmKernels(sc, *workers) },
 		"batch":    func() (any, error) { return experiments.DescriptorBatch(sc, *workers) },
 		"compress": func() (any, error) { return experiments.CompressEmbedding(sc, *workers) },
+		"serve":    func() (any, error) { return experiments.Serve(sc, *workers) },
 		"neighbor": func() (any, error) { return experiments.NeighborBuild(sc, *workers) },
 		"scaling": func() (any, error) {
 			counts := []int{1, 2, 4}
@@ -80,7 +81,7 @@ func main() {
 			return experiments.LocalScaling(sc, 20, counts)
 		},
 	}
-	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "gemm", "batch", "compress", "neighbor", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
+	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "gemm", "batch", "compress", "serve", "neighbor", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
 
 	var names []string
 	if *exp == "all" {
@@ -91,7 +92,7 @@ func main() {
 	// Only these experiments report machine-readable records; in -json mode
 	// the others are skipped up front instead of silently burning their
 	// runtime and contributing nothing.
-	recorders := map[string]bool{"gemm": true, "batch": true, "compress": true}
+	recorders := map[string]bool{"gemm": true, "batch": true, "compress": true, "serve": true}
 	records := []experiments.Record{}
 	for _, name := range names {
 		name = strings.TrimSpace(name)

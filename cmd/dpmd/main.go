@@ -3,14 +3,18 @@
 //
 // Usage examples:
 //
-//	dpmd -system water -nx 4 -steps 500 -precision double
+//	dpmd -system water -nx 4 -steps 500
 //	dpmd -system copper -nx 4 -steps 200 -precision mixed -ranks 4
-//	dpmd -system water -model water.dp -dump traj.xyz
+//	dpmd -system water -strategy compressed -model water.dp -dump traj.xyz
 //
-// Without -model, a freshly initialized model with the system's default
-// geometry (scaled to -netscale) is used: fine for performance runs, not
-// for physics. With -ranks > 1 the run is domain decomposed over simulated
-// MPI ranks.
+// Execution is configured through the shared engine flags (-precision,
+// -strategy, -workers, -gemm-workers, -concurrency; see internal/cliopt):
+// the flags translate into deepmd.Open options, one Engine is built, and
+// both the serial and the domain-decomposed runs evaluate through it —
+// with -ranks > 1 every simulated MPI rank borrows from the same
+// evaluator pool. Without -model, a freshly initialized model with the
+// system's default geometry (scaled to -netscale) is used: fine for
+// performance runs, not for physics.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 	"runtime"
 
+	"deepmd-go/internal/cliopt"
 	"deepmd-go/internal/compress"
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/md"
@@ -38,19 +43,30 @@ func main() {
 	boxL := flag.Float64("boxl", 40, "nanocrystal box edge in Angstrom (nanocu)")
 	grains := flag.Int("grains", 4, "nanocrystal grain count (nanocu)")
 	steps := flag.Int("steps", 500, "MD steps")
-	precision := flag.String("precision", "double", "double | mixed | baseline")
 	netscale := flag.String("netscale", "tiny", "tiny | paper network geometry (ignored with -model)")
 	modelPath := flag.String("model", "", "load a trained model file instead of random weights")
 	ranks := flag.Int("ranks", 1, "simulated MPI ranks (domain decomposition)")
-	workers := flag.Int("workers", runtime.NumCPU(), "goroutines for evaluation and neighbor-list builds")
 	tempK := flag.Float64("temp", 330, "initial temperature (K)")
 	seed := flag.Int64("seed", 1, "random seed")
 	dump := flag.String("dump", "", "write final configuration as XYZ")
-	perAtom := flag.Bool("peratom", false, "run the per-atom reference descriptor pipeline instead of the chunk-batched GEMMs (A/B debugging)")
-	compressed := flag.Bool("compress", false, "tabulate the embedding nets as piecewise quintics and run the compressed pipeline (the 86-PFLOPS/149-ns-day successors' model compression)")
+	perAtom := flag.Bool("peratom", false, "deprecated alias for -strategy peratom")
+	compressed := flag.Bool("compress", false, "deprecated alias for -strategy compressed (tabulates the embedding nets if the model carries no tables)")
+	eng := cliopt.Bind(flag.CommandLine, runtime.NumCPU())
 	flag.Parse()
-	if *compressed && *perAtom {
-		log.Fatal("-compress and -peratom are mutually exclusive execution strategies")
+
+	// Fold the pre-Engine boolean aliases into the shared strategy flag.
+	for _, alias := range []struct {
+		on          bool
+		flag, strat string
+	}{{*perAtom, "peratom", "peratom"}, {*compressed, "compress", "compressed"}} {
+		if !alias.on {
+			continue
+		}
+		if eng.Strategy != "auto" && eng.Strategy != alias.strat {
+			log.Fatalf("-%s conflicts with -strategy %s", alias.flag, eng.Strategy)
+		}
+		fmt.Fprintf(os.Stderr, "dpmd: -%s is deprecated; use -strategy %s\n", alias.flag, alias.strat)
+		eng.Strategy = alias.strat
 	}
 
 	var sys *deepmd.System
@@ -86,64 +102,49 @@ func main() {
 	if *ranks < 1 {
 		*ranks = 1
 	}
-	// Split the worker budget across ranks so rank evaluators do not
-	// oversubscribe the machine; applies to loaded models too.
-	perRank := max(1, *workers / *ranks)
-	model.Cfg.Workers = perRank
+	// Split the worker budget across ranks so rank evaluations do not
+	// oversubscribe the machine, and make sure the engine pool can serve
+	// every rank's force call concurrently.
+	eng.Workers = max(1, eng.Workers / *ranks)
+	if eng.MaxConcurrency == 0 && *ranks > 1 {
+		eng.MaxConcurrency = *ranks
+	}
 	mcfg := model.Cfg
 	spec := neighbor.Spec{Rcut: mcfg.Rcut, Skin: mcfg.Skin, Sel: mcfg.Sel}
 
-	// Tabulate once on the model: every rank evaluator (and a model saved
-	// later) shares the same build, exactly like the shipped compressed
-	// checkpoints of the successor papers. A checkpoint that already
-	// carries tables (possibly at a non-default resolution or domain) is
-	// used as shipped, not re-tabulated; the baseline evaluator ignores
-	// compression (newPot warns), so don't pay the build for it either.
-	if *compressed && model.Compressed == nil && *precision != "baseline" {
+	// Resolve the flag spellings first: a typo must not pay for the
+	// table build below.
+	opts, err := eng.Options()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The compressed strategy runs the tables attached to the model
+	// (Open validates they exist): a checkpoint that already carries
+	// tables — possibly at a non-default resolution or domain — is used
+	// as shipped, otherwise tabulate once here so every pooled evaluator
+	// (and a model saved later) shares the same build.
+	if eng.Strategy == "compressed" && model.Compressed == nil {
 		if err := model.AttachCompressedTables(compress.Spec{}); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	newPot := func() md.Potential {
-		setStrategy := func(ev interface {
-			SetPerAtomDescriptors(bool)
-			SetCompressedEmbedding(compress.Spec) error
-		}) {
-			if *compressed {
-				if err := ev.SetCompressedEmbedding(compress.Spec{}); err != nil {
-					log.Fatal(err)
-				}
-				return
-			}
-			ev.SetPerAtomDescriptors(*perAtom)
-		}
-		switch *precision {
-		case "mixed":
-			ev := core.NewEvaluator[float32](model)
-			setStrategy(ev)
-			return ev
-		case "baseline":
-			if *perAtom || *compressed {
-				fmt.Fprintln(os.Stderr, "dpmd: -peratom/-compress have no effect with -precision baseline (the baseline evaluator is always per-atom, exact)")
-			}
-			return core.NewBaselineEvaluator(model)
-		default:
-			ev := core.NewEvaluator[float64](model)
-			setStrategy(ev)
-			return ev
-		}
+	engine, err := deepmd.Open(model, opts...)
+	if err != nil {
+		log.Fatal(err)
 	}
+	plan := engine.Plan()
 
 	sys.InitVelocities(*tempK, *seed+1)
-	fmt.Printf("system %s: %d atoms, box %.1f x %.1f x %.1f A, dt %.1f fs, %s precision, %d rank(s)\n",
-		*system, sys.N(), sys.Box.L[0], sys.Box.L[1], sys.Box.L[2], dt*1000, *precision, *ranks)
+	fmt.Printf("system %s: %d atoms, box %.1f x %.1f x %.1f A, dt %.1f fs, %s/%s plan, %d rank(s)\n",
+		*system, sys.N(), sys.Box.L[0], sys.Box.L[1], sys.Box.L[2], dt*1000,
+		plan.Precision, plan.Strategy, *ranks)
 
 	if *ranks > 1 {
-		stats, err := deepmd.RunParallel(sys, newPot, deepmd.ParallelOptions{
+		stats, err := deepmd.RunParallelShared(sys, engine, deepmd.ParallelOptions{
 			Ranks: *ranks, Dt: dt, Steps: *steps, Spec: spec,
 			RebuildEvery: 50, ThermoEvery: 20, UseIallreduce: true,
-			Workers: perRank,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -157,9 +158,8 @@ func main() {
 		return
 	}
 
-	sim, err := deepmd.NewSimulation(sys, newPot(), deepmd.SimOptions{
+	sim, err := deepmd.NewSimulation(sys, engine, deepmd.SimOptions{
 		Dt: dt, Spec: spec, RebuildEvery: 50, ThermoEvery: 20,
-		Workers: *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

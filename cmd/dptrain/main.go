@@ -6,6 +6,13 @@
 //
 //	dptrain -system copper -frames 64 -steps 2000 -out cu.dp
 //	dptrain -system water  -frames 64 -steps 2000 -out water.dp
+//	dptrain -system copper -strategy compressed -out cu.dp   # ships tables
+//
+// Training always runs the serial double-precision exact pipeline
+// (parameter gradients require it); the shared engine flags
+// (internal/cliopt) configure the post-training validation engine and,
+// with -strategy compressed, tabulate the embedding nets into the saved
+// checkpoint so dpmd serves it compressed out of the box.
 package main
 
 import (
@@ -13,6 +20,8 @@ import (
 	"fmt"
 	"log"
 
+	"deepmd-go/internal/cliopt"
+	"deepmd-go/internal/compress"
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/lattice"
 	"deepmd-go/internal/md"
@@ -20,6 +29,8 @@ import (
 	"deepmd-go/internal/refpot"
 	"deepmd-go/internal/train"
 	"deepmd-go/internal/units"
+
+	deepmd "deepmd-go"
 )
 
 func main() {
@@ -34,7 +45,7 @@ func main() {
 	netscale := flag.String("netscale", "tiny", "tiny | paper network geometry")
 	out := flag.String("out", "model.dp", "output model file")
 	seed := flag.Int64("seed", 1, "random seed")
-	workers := flag.Int("workers", 1, "goroutines for neighbor-list builds and intra-GEMM row blocks (the training evaluator itself stays serial: parameter gradients require it)")
+	eng := cliopt.Bind(flag.CommandLine, 1)
 	flag.Parse()
 
 	var cfg core.Config
@@ -75,6 +86,28 @@ func main() {
 	}
 	cfg.Seed = *seed
 
+	// Resolve and validate the serving plan UP FRONT: a flag typo or an
+	// illegal combination (e.g. -precision mixed -strategy baseline)
+	// must not cost a full data-generation + training run before
+	// surfacing. The compressed strategy is validated as batched here —
+	// its tables are tabulated from the trained weights at the end.
+	opts, err := eng.Options()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var req deepmd.Plan
+	for _, o := range opts {
+		o(&req)
+	}
+	probeReq := req
+	if probeReq.Strategy == deepmd.Compressed {
+		probeReq.Strategy = deepmd.Batched
+	}
+	plan, err := core.ResolvePlan(&core.Model{Cfg: cfg}, probeReq)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
 	fmt.Printf("generating %d frames from the %s oracle...\n", *frames, *system)
 	data, err := train.GenData(oracle, base, spec, *frames, 0.01, 0.15, *seed+10)
@@ -87,9 +120,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The resolved plan already applied the worker-defaulting rules
+	// (GemmWorkers follows Workers); the training evaluator itself stays
+	// serial — parameter gradients require it.
 	tr, err := train.NewTrainer(model, train.Config{
 		LR: *lr, BatchSize: *batch, DecayRate: 0.97, DecaySteps: *steps / 20, Seed: *seed,
-		NeighborWorkers: *workers, GemmWorkers: *workers,
+		NeighborWorkers: plan.Workers, GemmWorkers: plan.GemmWorkers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -106,6 +142,35 @@ func main() {
 				i, loss, eRMSE, fRMSE, tr.LR())
 		}
 	}
+
+	// Tabulate the trained nets when the serving strategy asks for it, so
+	// the checkpoint round-trips compressed (the successor papers ship
+	// compressed models the same way).
+	if eng.Strategy == "compressed" {
+		if err := model.AttachCompressedTables(compress.Spec{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Validate through an Engine running the exact plan that will serve
+	// the model (mixed precision, compressed tables, ...), not just the
+	// training pipeline.
+	engine, err := deepmd.Open(model, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	served := engine.Plan()
+	eRMSE, err := train.EnergyRMSEWith(engine, spec, served.Workers, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fRMSE, err := train.ForceRMSEWith(engine, spec, served.Workers, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving plan %s/%s: E-RMSE %.4f eV/atom  F-RMSE %.3f eV/A\n",
+		served.Precision, served.Strategy, eRMSE, fRMSE)
+
 	if err := model.SaveFile(*out); err != nil {
 		log.Fatal(err)
 	}

@@ -7,22 +7,38 @@
 // runtime, training against analytic "ab initio" oracles, analysis
 // (RDF/CNA) and a calibrated Summit performance model.
 //
-// This package is the facade: it re-exports the stable surface of the
-// internal packages. Quick start:
+// The entry point is Open: it resolves the execution choices the paper's
+// optimizations introduced — precision (Sec. 5.2.3), descriptor execution
+// strategy (Secs. 4 and 5.3.1, plus the successor papers' tabulated
+// compression), per-evaluation parallelism — into one validated Plan and
+// returns a goroutine-safe Engine backed by a pool of evaluators. Quick
+// start:
 //
-//	cfg := deepmd.TinyConfig(2)
-//	model, _ := deepmd.NewModel(cfg)
-//	ev := deepmd.NewDoubleEvaluator(model)      // or NewMixedEvaluator
+//	model, _ := deepmd.NewModel(deepmd.TinyConfig(2))
+//	eng, _ := deepmd.Open(model)                // Auto: fastest legal plan
 //	sys := deepmd.BuildWater(4, 4, 4, 1)        // 64 molecules
-//	sim, _ := deepmd.NewSimulation(&md.System{...}, ev, deepmd.SimOptions{...})
+//	sim, _ := deepmd.NewSimulation(sys, eng, deepmd.SimOptions{Dt: 5e-4,
+//		Spec: deepmd.SpecFor(model.Cfg)})
 //	sim.Run(500)
 //
-// See examples/ for complete programs and DESIGN.md / EXPERIMENTS.md for
-// the experiment-by-experiment reproduction map.
+// Options select non-default plans, validated once at Open time:
+//
+//	deepmd.Open(model,
+//		deepmd.WithPrecision(deepmd.Mixed),     // float32 network math
+//		deepmd.WithStrategy(deepmd.Compressed), // needs attached tables
+//		deepmd.WithWorkers(8),                  // goroutines per evaluation
+//		deepmd.WithMaxConcurrency(16))          // concurrent evaluations served
+//
+// One Engine serves any number of goroutines: concurrent Compute /
+// EvaluateInto calls each borrow a pooled evaluator (zero steady-state
+// allocation), and Ensemble runs k replica simulations over the shared
+// pool. See examples/ for complete programs and DESIGN.md ("Engine & plan
+// resolution") / EXPERIMENTS.md for the reproduction map.
 package deepmd
 
 import (
 	"deepmd-go/internal/analysis"
+	"deepmd-go/internal/compress"
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/domain"
 	"deepmd-go/internal/lattice"
@@ -52,6 +68,22 @@ func NewModel(cfg Config) (*Model, error) { return core.New(cfg) }
 // LoadModel reads a model file written by Model.SaveFile.
 func LoadModel(path string) (*Model, error) { return core.LoadFile(path) }
 
+// CompressSpec configures the tabulated-embedding build of
+// Model.AttachCompressedTables (domain bounds and segments per table);
+// the zero value selects the default domain and resolution for the
+// model's cutoff. Attach tables BEFORE Open: the Compressed strategy
+// requires them, and Auto prefers them.
+type CompressSpec = compress.Spec
+
+// AttachCompressedTables tabulates the model's embedding nets as
+// piecewise quintics and stores them on the model, so checkpoints
+// round-trip compressed and Open can serve the Compressed strategy.
+// Facade form of Model.AttachCompressedTables for callers outside this
+// module (internal/compress is unimportable there).
+func AttachCompressedTables(m *Model, spec CompressSpec) error {
+	return m.AttachCompressedTables(spec)
+}
+
 // WaterConfig is the paper's liquid-water model geometry (Sec. 6.1).
 func WaterConfig() Config { return core.WaterConfig() }
 
@@ -61,27 +93,138 @@ func CopperConfig() Config { return core.CopperConfig() }
 // TinyConfig is a scaled-down model for experiments on small machines.
 func TinyConfig(ntypes int) Config { return core.TinyConfig(ntypes) }
 
-// Evaluators: the optimized pipeline in both precisions plus the 2018
-// baseline execution strategy.
+// The Engine API: one options-driven entry point over every execution
+// strategy and precision.
 
 // Potential is anything that can compute energies and forces for the MD
-// engine: DP evaluators, the baseline evaluator, and the reference
-// potentials all implement it.
+// engine: the Engine, raw DP evaluators, the baseline evaluator, and the
+// reference potentials all implement it.
 type Potential = md.Potential
 
+// Precision selects the numeric execution of the pipeline: Double or
+// Mixed (float32 network math between float64 boundaries, Sec. 5.2.3).
+type Precision = core.Precision
+
+// Strategy selects the descriptor execution strategy: Auto picks the
+// fastest legal one for the model, Baseline is the 2018 serial execution,
+// PerAtom the retained per-atom reference loops, Batched the chunk-batched
+// strided-GEMM pipeline (Sec. 5.3.1), Compressed the tabulated-embedding
+// pipeline of the successor papers (requires attached tables).
+type Strategy = core.Strategy
+
+// Precision and strategy values accepted by the Open options.
+const (
+	Double = core.Double
+	Mixed  = core.Mixed
+
+	Auto       = core.StrategyAuto
+	Baseline   = core.StrategyBaseline
+	PerAtom    = core.StrategyPerAtom
+	Batched    = core.StrategyBatched
+	Compressed = core.StrategyCompressed
+)
+
+// Plan is a fully resolved execution plan; Engine.Plan reports the one an
+// engine runs.
+type Plan = core.Plan
+
+// Sentinel errors of plan resolution and strategy dispatch; match with
+// errors.Is.
+var (
+	// ErrStrategyUnavailable reports a precision x strategy x model
+	// combination that cannot execute (Open validation).
+	ErrStrategyUnavailable = core.ErrStrategyUnavailable
+	// ErrNoGradsForCompressed reports parameter gradients requested on
+	// the weightless compressed embedding path.
+	ErrNoGradsForCompressed = core.ErrNoGradsForCompressed
+)
+
+// Option configures Open.
+type Option func(*Plan)
+
+// WithPrecision selects Double or Mixed execution (default Double).
+func WithPrecision(p Precision) Option { return func(pl *Plan) { pl.Precision = p } }
+
+// WithStrategy selects the descriptor execution strategy (default Auto:
+// Compressed when the model ships tables, else Batched).
+func WithStrategy(s Strategy) Option { return func(pl *Plan) { pl.Strategy = s } }
+
+// WithWorkers sets the parallelism budget of one evaluation — chunk
+// fan-out over goroutines, falling back to intra-GEMM row blocks when the
+// chunk loop degenerates to serial (default: the model config's Workers).
+// The same budget feeds neighbor-list rebuilds of simulations driven by
+// the engine.
+func WithWorkers(n int) Option { return func(pl *Plan) { pl.Workers = n } }
+
+// WithGemmWorkers overrides the goroutine count inside each blocked GEMM
+// call when the chunk loop is serial (default: WithWorkers' value).
+func WithGemmWorkers(n int) Option { return func(pl *Plan) { pl.GemmWorkers = n } }
+
+// WithMaxConcurrency bounds how many concurrent evaluations the engine
+// serves — the size of its pooled-evaluator free list (default:
+// GOMAXPROCS). Evaluators are built lazily, so an over-provisioned bound
+// costs nothing until used.
+func WithMaxConcurrency(n int) Option { return func(pl *Plan) { pl.MaxConcurrency = n } }
+
+// Engine is the goroutine-safe serving handle over one model: a resolved
+// Plan plus a pool of per-goroutine evaluators with their arenas. It
+// implements Potential, so it plugs into NewSimulation and RunParallel
+// seams directly, and exposes Evaluate / EvaluateInto for raw force
+// calls from concurrent goroutines with zero steady-state allocation.
+type Engine struct {
+	*core.Engine
+}
+
+// Open validates the full option combination against the model once and
+// returns an Engine executing the resolved plan. Strategy and precision
+// conflicts (Compressed without attached tables, Baseline with Mixed)
+// surface here as ErrStrategyUnavailable.
+func Open(model *Model, opts ...Option) (*Engine, error) {
+	var req Plan
+	for _, o := range opts {
+		o(&req)
+	}
+	ce, err := core.NewEngine(model, req)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ce}, nil
+}
+
+// Ensemble runs one replica simulation per system over this engine's
+// evaluator pool, at most Plan().MaxConcurrency replicas at a time, and
+// returns the finished simulations (with their thermo logs) in order.
+// Replica trajectories are bit-identical to running each serially.
+func (e *Engine) Ensemble(systems []*System, opt SimOptions, steps int) ([]*Simulation, error) {
+	return md.RunEnsemble(e, systems, opt, steps, e.Plan().MaxConcurrency)
+}
+
+// Legacy evaluator constructors. They predate Open and remain as thin
+// shims so existing callers keep compiling; the returned raw evaluators
+// are single-goroutine (see core.Evaluator) and expose the post-hoc
+// setters Open's options replaced.
+
 // NewDoubleEvaluator runs the optimized pipeline in double precision.
+//
+// Deprecated: use Open(m) (or Open(m, WithPrecision(Double),
+// WithStrategy(Batched))) — the Engine is goroutine-safe and validates
+// its configuration once.
 func NewDoubleEvaluator(m *Model) *core.Evaluator[float64] {
 	return core.NewEvaluator[float64](m)
 }
 
 // NewMixedEvaluator runs the optimized pipeline with single-precision
 // network math between double-precision boundaries (Sec. 5.2.3).
+//
+// Deprecated: use Open(m, WithPrecision(Mixed)).
 func NewMixedEvaluator(m *Model) *core.Evaluator[float32] {
 	return core.NewEvaluator[float32](m)
 }
 
 // NewBaselineEvaluator runs the 2018 serial DeePMD-kit execution strategy
 // (unfused ops, AoS neighbor handling, per-call allocation).
+//
+// Deprecated: use Open(m, WithStrategy(Baseline)).
 func NewBaselineEvaluator(m *Model) *core.BaselineEvaluator {
 	return core.NewBaselineEvaluator(m)
 }
@@ -143,9 +286,22 @@ type ParallelOptions = domain.Options
 // ParallelStats is the result of a parallel run.
 type ParallelStats = domain.Stats
 
-// RunParallel executes a domain-decomposed simulation (Sec. 5.4).
+// RunParallel executes a domain-decomposed simulation (Sec. 5.4) with a
+// per-rank potential built by newPot. Ranks sharing one Engine should use
+// RunParallelShared instead.
 func RunParallel(sys *System, newPot func() Potential, opt ParallelOptions) (*ParallelStats, error) {
 	return domain.Run(sys, newPot, opt)
+}
+
+// RunParallelShared executes a domain-decomposed simulation whose ranks
+// all evaluate through one goroutine-safe potential — an Engine, whose
+// pool serves the ranks' concurrent force calls and supplies the per-rank
+// neighbor worker budget when opt.Workers is unset. Because every rank
+// evaluates concurrently with the engine's full per-evaluation Workers,
+// open the engine with WithWorkers(budget / Ranks) and
+// WithMaxConcurrency(>= Ranks); see domain.RunShared.
+func RunParallelShared(sys *System, pot Potential, opt ParallelOptions) (*ParallelStats, error) {
+	return domain.RunShared(sys, pot, opt)
 }
 
 // System builders.

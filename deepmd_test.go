@@ -1,9 +1,263 @@
 package deepmd
 
 import (
+	"errors"
 	"math"
 	"testing"
+
+	"deepmd-go/internal/compress"
+	"deepmd-go/internal/core"
 )
+
+// waterTestSetup builds the tiny water model (tables attached, so every
+// strategy is legal) and a water box with its neighbor list.
+func waterTestSetup(t *testing.T) (*Model, *System, *NeighborList) {
+	t.Helper()
+	cfg := TinyConfig(2)
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+	cfg.Sel = []int{12, 24}
+	model, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.AttachCompressedTables(compress.Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	sys := BuildWater(4, 4, 4, 1)
+	list, err := BuildNeighborList(sys, SpecFor(cfg), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, sys, list
+}
+
+// requireBitIdentical asserts two results match bit for bit.
+func requireBitIdentical(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Energy != want.Energy {
+		t.Fatalf("%s: energy %.17g != legacy %.17g", label, got.Energy, want.Energy)
+	}
+	for i := range want.Force {
+		if math.Float64bits(got.Force[i]) != math.Float64bits(want.Force[i]) {
+			t.Fatalf("%s: force[%d] = %g != legacy %g", label, i, got.Force[i], want.Force[i])
+		}
+	}
+	for i := range want.AtomEnergy {
+		if got.AtomEnergy[i] != want.AtomEnergy[i] {
+			t.Fatalf("%s: atomEnergy[%d] differs", label, i)
+		}
+	}
+	if got.Virial != want.Virial {
+		t.Fatalf("%s: virial differs", label)
+	}
+}
+
+// TestOpenMatchesLegacySurface is the facade back-compat differential
+// suite: every legacy constructor/setter combination must produce
+// bit-identical energies, per-atom energies, forces and virials to the
+// equivalent Open(...) options, across all strategy x precision
+// combinations. This is what lets the legacy surface be deprecated
+// without a behavior cliff.
+func TestOpenMatchesLegacySurface(t *testing.T) {
+	model, sys, list := waterTestSetup(t)
+	n := sys.N()
+	eval := func(t *testing.T, pot Potential) *Result {
+		t.Helper()
+		var r Result
+		if err := pot.Compute(sys.Pos, sys.Types, n, list, &sys.Box, &r); err != nil {
+			t.Fatal(err)
+		}
+		return &r
+	}
+
+	cases := []struct {
+		name   string
+		legacy func() Potential
+		opts   []Option
+	}{
+		{"double-batched", func() Potential { return NewDoubleEvaluator(model) },
+			[]Option{WithPrecision(Double), WithStrategy(Batched)}},
+		{"double-peratom", func() Potential {
+			ev := NewDoubleEvaluator(model)
+			ev.SetPerAtomDescriptors(true)
+			return ev
+		}, []Option{WithStrategy(PerAtom)}},
+		{"double-compressed", func() Potential {
+			ev := NewDoubleEvaluator(model)
+			if err := ev.SetCompressedEmbedding(compress.Spec{}); err != nil {
+				t.Fatal(err)
+			}
+			return ev
+		}, []Option{WithStrategy(Compressed)}},
+		{"mixed-batched", func() Potential { return NewMixedEvaluator(model) },
+			[]Option{WithPrecision(Mixed), WithStrategy(Batched)}},
+		{"mixed-peratom", func() Potential {
+			ev := NewMixedEvaluator(model)
+			ev.SetPerAtomDescriptors(true)
+			return ev
+		}, []Option{WithPrecision(Mixed), WithStrategy(PerAtom)}},
+		{"mixed-compressed", func() Potential {
+			ev := NewMixedEvaluator(model)
+			if err := ev.SetCompressedEmbedding(compress.Spec{}); err != nil {
+				t.Fatal(err)
+			}
+			return ev
+		}, []Option{WithPrecision(Mixed), WithStrategy(Compressed)}},
+		{"baseline", func() Potential { return NewBaselineEvaluator(model) },
+			[]Option{WithStrategy(Baseline)}},
+		{"double-gemmworkers2", func() Potential {
+			ev := NewDoubleEvaluator(model)
+			ev.SetGemmWorkers(2)
+			return ev
+		}, []Option{WithStrategy(Batched), WithGemmWorkers(2)}},
+		{"double-setter-roundtrip", func() Potential {
+			// Toggling strategies post hoc must land back on batched.
+			ev := NewDoubleEvaluator(model)
+			if err := ev.SetCompressedEmbedding(compress.Spec{}); err != nil {
+				t.Fatal(err)
+			}
+			ev.SetPerAtomDescriptors(true)
+			ev.SetPerAtomDescriptors(false)
+			return ev
+		}, []Option{WithStrategy(Batched)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := eval(t, tc.legacy())
+			eng, err := Open(model, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireBitIdentical(t, tc.name, eval(t, eng), want)
+		})
+	}
+
+	// Workers: a model configured with Workers = 2 (legacy plumbing) must
+	// match WithWorkers(2) over the Workers = 1 model.
+	t.Run("workers2", func(t *testing.T) {
+		m2 := *model
+		m2.Cfg.Workers = 2
+		want := eval(t, NewDoubleEvaluator(&m2))
+		eng, err := Open(model, WithStrategy(Batched), WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, "workers2", eval(t, eng), want)
+	})
+}
+
+// Open's validation and resolution surface at the facade: sentinel errors
+// match with errors.Is, and the resolved plan is observable.
+func TestOpenValidation(t *testing.T) {
+	cfg := TinyConfig(2)
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+	cfg.Sel = []int{12, 24}
+	model, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(model, WithStrategy(Compressed)); !errors.Is(err, ErrStrategyUnavailable) {
+		t.Fatalf("compressed without tables: err = %v, want ErrStrategyUnavailable", err)
+	}
+	if _, err := Open(model, WithPrecision(Mixed), WithStrategy(Baseline)); !errors.Is(err, ErrStrategyUnavailable) {
+		t.Fatalf("mixed baseline: err = %v, want ErrStrategyUnavailable", err)
+	}
+	eng, err := Open(model, WithWorkers(2), WithMaxConcurrency(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := eng.Plan()
+	if p.Strategy != Batched || p.Precision != Double || p.Workers != 2 || p.MaxConcurrency != 3 {
+		t.Fatalf("resolved plan %+v", p)
+	}
+	if err := model.AttachCompressedTables(compress.Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	eng, err = Open(model) // Auto now prefers the attached tables
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Plan().Strategy != Compressed {
+		t.Fatalf("auto strategy = %s with tables attached, want compressed", eng.Plan().Strategy)
+	}
+}
+
+// The Ensemble helper runs k replicas over one engine and must agree with
+// serial per-replica simulations driven by the legacy constructors.
+func TestEngineEnsemble(t *testing.T) {
+	model, _, _ := waterTestSetup(t)
+	cfg := model.Cfg
+	opt := SimOptions{Dt: 0.0005, Spec: SpecFor(cfg), RebuildEvery: 5, ThermoEvery: 5}
+
+	const k, steps = 3, 10
+	systems := make([]*System, k)
+	refs := make([]*System, k)
+	for i := range systems {
+		systems[i] = BuildWater(4, 4, 4, 1)
+		systems[i].InitVelocities(300, int64(20+i))
+		refs[i] = BuildWater(4, 4, 4, 1)
+		refs[i].InitVelocities(300, int64(20+i))
+	}
+
+	// Batched explicitly: the reference runs legacy double evaluators,
+	// and Auto would pick the attached tables instead.
+	eng, err := Open(model, WithStrategy(Batched), WithMaxConcurrency(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims, err := eng.Ensemble(systems, opt, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refs {
+		ref, err := NewSimulation(refs[i], NewDoubleEvaluator(model), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+		if len(sims[i].Log) != len(ref.Log) {
+			t.Fatalf("replica %d: %d samples vs serial %d", i, len(sims[i].Log), len(ref.Log))
+		}
+		for j := range ref.Log {
+			if sims[i].Log[j] != ref.Log[j] {
+				t.Fatalf("replica %d sample %d: ensemble %+v != serial %+v", i, j, sims[i].Log[j], ref.Log[j])
+			}
+		}
+	}
+}
+
+// The engine plugs into the domain-decomposed runner as one shared
+// potential for all ranks.
+func TestRunParallelSharedEngine(t *testing.T) {
+	model, _, _ := waterTestSetup(t)
+	sys := BuildWater(4, 4, 4, 1)
+	sys.InitVelocities(300, 4)
+	eng, err := Open(model, WithMaxConcurrency(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunParallelShared(sys, eng, ParallelOptions{
+		Ranks: 2, Dt: 0.0005, Steps: 10, Spec: SpecFor(model.Cfg),
+		RebuildEvery: 5, ThermoEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Thermo) != 2 {
+		t.Fatalf("thermo samples = %d", len(stats.Thermo))
+	}
+	total := 0
+	for _, n := range stats.AtomsPerRank {
+		total += n
+	}
+	if total != sys.N() {
+		t.Fatalf("atoms %d, want %d", total, sys.N())
+	}
+}
+
+var _ core.Strategy = Auto // the facade aliases stay in sync with core
 
 // The facade must expose a complete, working workflow end to end.
 func TestFacadeWorkflow(t *testing.T) {

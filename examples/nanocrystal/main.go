@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	deepmd "deepmd-go"
 	"deepmd-go/internal/analysis"
@@ -30,9 +31,10 @@ func main() {
 	}
 
 	if *dumpPrefix != "" {
-		// Snapshot the pristine sample before the run for comparison.
+		// Snapshot the pristine sample before the run for comparison; the
+		// CNA neighbor search takes a worker budget like everything else.
 		sys := deepmd.BuildNanocrystal(30, 3, 17)
-		cls, err := deepmd.CNA(sys.Pos, sys.Types, &sys.Box, analysis.FCCCNACutoff(lattice.CuLatticeConst), 1)
+		cls, err := deepmd.CNA(sys.Pos, sys.Types, &sys.Box, analysis.FCCCNACutoff(lattice.CuLatticeConst), runtime.NumCPU())
 		if err != nil {
 			log.Fatal(err)
 		}

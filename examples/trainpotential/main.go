@@ -66,14 +66,23 @@ func main() {
 		}
 	}
 
+	// The trained model serves through one Engine: Open validates the
+	// plan once, and the same handle drives the raw evaluation below and
+	// the MD run after it.
+	engine, err := deepmd.Open(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Compare cohesive energies on the perfect lattice.
 	perfect := lattice.FCC(4, 4, 4, lattice.CuLatticeConst)
 	list, err := neighbor.Build(spec, perfect.Pos, perfect.Types, perfect.N(), &perfect.Box, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var dpRes, scRes deepmd.Result
-	if err := deepmd.NewDoubleEvaluator(model).Compute(perfect.Pos, perfect.Types, perfect.N(), list, &perfect.Box, &dpRes); err != nil {
+	var scRes deepmd.Result
+	dpRes, err := engine.Evaluate(perfect.Pos, perfect.Types, perfect.N(), list, &perfect.Box)
+	if err != nil {
 		log.Fatal(err)
 	}
 	if err := oracle.Compute(perfect.Pos, perfect.Types, perfect.N(), list, &perfect.Box, &scRes); err != nil {
@@ -83,10 +92,10 @@ func main() {
 	fmt.Printf("cohesive energy: DP %.4f eV/atom vs oracle %.4f eV/atom (error %.1f meV/atom)\n",
 		dpRes.Energy/n, scRes.Energy/n, 1000*(dpRes.Energy-scRes.Energy)/n)
 
-	// Short MD with the trained model.
+	// Short MD with the trained model, through the same engine.
 	sys := deepmd.BuildCopper(4, 4, 4)
 	sys.InitVelocities(300, 9)
-	sim, err := deepmd.NewSimulation(sys, deepmd.NewDoubleEvaluator(model), deepmd.SimOptions{
+	sim, err := deepmd.NewSimulation(sys, engine, deepmd.SimOptions{
 		Dt: 0.001, Spec: spec, RebuildEvery: 25, ThermoEvery: 25,
 	})
 	if err != nil {

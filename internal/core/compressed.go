@@ -53,7 +53,7 @@ func (ev *Evaluator[T]) SetCompressedEmbedding(spec compress.Spec) error {
 		}
 	}
 	ev.comp = comp
-	ev.strat = stratCompressed
+	ev.strat = StrategyCompressed
 	return nil
 }
 
@@ -62,7 +62,7 @@ func (ev *Evaluator[T]) SetCompressedEmbedding(spec compress.Spec) error {
 // after switching back to an exact strategy) — the memory side of the
 // successor papers' memory-for-FLOPs trade.
 func (ev *Evaluator[T]) CompressedTableBytes() int {
-	if ev.strat != stratCompressed {
+	if ev.strat != StrategyCompressed {
 		return 0
 	}
 	total := 0

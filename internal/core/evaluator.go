@@ -37,6 +37,15 @@ type Result struct {
 // differential oracle and the 2018-granularity reference — and
 // SetCompressedEmbedding replaces the embedding networks with tabulated
 // piecewise quintics (internal/compress), the third execution strategy.
+//
+// Concurrency contract: a raw Evaluator is SINGLE-GOROUTINE. It owns
+// persistent arenas, traces and result staging buffers (the zero-alloc
+// steady state depends on them), so two goroutines calling Compute on the
+// same instance race on every one of them. Workers only parallelizes the
+// inside of one Compute call. Callers that need concurrent evaluations —
+// serving N systems, replica ensembles — go through an Engine, which
+// pools one evaluator per in-flight call and is goroutine-safe
+// (TestEngineConcurrentBitIdentical exercises this under -race).
 type Evaluator[T tensor.Float] struct {
 	cfg    Config
 	dcfg   descriptor.Config
@@ -58,7 +67,9 @@ type Evaluator[T tensor.Float] struct {
 	byType  [][]int
 	jobs    []chunkJob
 	chunkE  []float64
-	strat   strategy
+	// strat is the resolved descriptor execution strategy (never Auto or
+	// Baseline here; the BaselineEvaluator is a separate type).
+	strat Strategy
 	// comp[ci][tj] is the tabulated embedding net for (center, neighbor)
 	// type pair, populated by SetCompressedEmbedding.
 	comp [][]*compress.Table[T]
@@ -68,21 +79,6 @@ type Evaluator[T tensor.Float] struct {
 	// cfg.Workers; see Compute).
 	gemmWorkers int
 }
-
-// strategy selects the execution strategy of the descriptor stage.
-type strategy int
-
-const (
-	// stratBatched is the default chunk-batched strided-GEMM pipeline
-	// with exact embedding nets (Sec. 5.3.1).
-	stratBatched strategy = iota
-	// stratPerAtom is the retained per-atom reference loop (2018
-	// granularity, the differential oracle).
-	stratPerAtom
-	// stratCompressed is the batched pipeline with the embedding nets
-	// replaced by tabulated quintics (the successor papers' compression).
-	stratCompressed
-)
 
 // chunkJob is one same-type atom chunk of an evaluation.
 type chunkJob struct {
@@ -147,6 +143,7 @@ func NewEvaluator[T tensor.Float](m *Model) *Evaluator[T] {
 		ev.scratch = append(ev.scratch, newEvalScratch[T](nt))
 	}
 	ev.gemmWorkers = max(1, cfg.Workers)
+	ev.strat = StrategyBatched
 	return ev
 }
 
@@ -169,11 +166,15 @@ func (ev *Evaluator[T]) SetGemmWorkers(n int) {
 // evaluator was previously compressed.
 func (ev *Evaluator[T]) SetPerAtomDescriptors(on bool) {
 	if on {
-		ev.strat = stratPerAtom
+		ev.strat = StrategyPerAtom
 	} else {
-		ev.strat = stratBatched
+		ev.strat = StrategyBatched
 	}
 }
+
+// CurrentStrategy reports the resolved descriptor execution strategy the
+// evaluator is running (Batched, PerAtom or Compressed).
+func (ev *Evaluator[T]) CurrentStrategy() Strategy { return ev.strat }
 
 // ArenaBytes reports the total arena slab size; the mixed-precision
 // evaluator's is about half the double one's (Sec. 7.1.3).
@@ -294,7 +295,7 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 // carries the GEMM worker budget (serial when chunk-level parallelism is
 // already using the cores).
 func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ws *evalScratch[T], ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
-	if ev.strat == stratPerAtom {
+	if ev.strat == StrategyPerAtom {
 		return ev.evalChunkPerAtom(ctr, opts, ar, env, ci, atoms, atomEnergy)
 	}
 	return ev.evalChunkBatched(ctr, opts, ws, ar, env, ci, atoms, atomEnergy)
@@ -348,7 +349,7 @@ func (ev *Evaluator[T]) evalChunkBatched(ctr *perf.Counter, opts tensor.Opts, ws
 		ws.secS[tj] = sIn
 	}
 	observeSlice(ctr, gatherStart)
-	compressed := ev.strat == stratCompressed
+	compressed := ev.strat == StrategyCompressed
 	for tj := 0; tj < nt; tj++ {
 		if compressed {
 			// Tabulated embedding: one Horner sweep yields the section's

@@ -58,10 +58,11 @@ func (ev *Evaluator[T]) ComputeWithGrads(pos []float64, types []int, nloc int, l
 	if len(ev.arenas) > 1 {
 		return fmt.Errorf("core: parameter gradients require Workers = 1")
 	}
-	if ev.strat == stratCompressed {
+	if ev.strat == StrategyCompressed {
 		// The tabulated embedding has no weights in the graph; training
-		// runs on the exact nets and re-tabulates afterwards.
-		return fmt.Errorf("core: parameter gradients are unavailable on the compressed embedding path")
+		// runs on the exact nets and re-tabulates afterwards. The wrap
+		// keeps the sentinel visible to errors.Is through the context.
+		return fmt.Errorf("%w (train on the exact nets and re-tabulate)", ErrNoGradsForCompressed)
 	}
 	ev.grads = grads
 	defer func() { ev.grads = nil }()

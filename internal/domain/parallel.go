@@ -36,7 +36,9 @@ type Options struct {
 	GatherForces bool
 	// Workers is the per-rank goroutine count for neighbor-list
 	// construction (on a real machine this is the node's core budget per
-	// MPI rank). <= 1 builds serially.
+	// MPI rank). Zero defaults from the potential's own budget when it
+	// reports one (md.WorkerHinter, i.e. a shared core.Engine); <= 1
+	// builds serially.
 	Workers int
 }
 
@@ -57,10 +59,33 @@ type Stats struct {
 	LoopTime time.Duration
 }
 
+// RunShared executes a domain-decomposed simulation in which every rank
+// shares one goroutine-safe potential — a core.Engine, whose evaluator
+// pool serves the ranks' concurrent force calls — instead of building a
+// per-rank evaluator. The engine also supplies the per-rank neighbor
+// worker budget when opt.Workers is unset, dropping the ad-hoc plumbing
+// the per-rank constructors needed.
+//
+// Budgeting contract: the engine's per-evaluation Workers applies to
+// EVERY rank's concurrent force call (and, via the hint, to its
+// neighbor builds), so an engine serving R ranks should be opened with
+// Workers ≈ machine budget / R and MaxConcurrency >= R — exactly what
+// cmd/dpmd does. Opening with the full machine budget and then running
+// many ranks oversubscribes the cores R-fold.
+func RunShared(sys *md.System, pot md.Potential, opt Options) (*Stats, error) {
+	if opt.Workers <= 0 {
+		if wh, ok := pot.(md.WorkerHinter); ok {
+			opt.Workers = wh.EvalWorkers()
+		}
+	}
+	return Run(sys, func() md.Potential { return pot }, opt)
+}
+
 // Run executes a domain-decomposed simulation of the given full system.
 // Every rank receives the complete initial system (the replicated-setup
 // strategy of Sec. 7.3) and keeps only the atoms it owns. newPot builds a
-// per-rank potential evaluator.
+// per-rank potential evaluator; ranks calling a shared goroutine-safe
+// potential instead should use RunShared.
 func Run(sys *md.System, newPot func() md.Potential, opt Options) (*Stats, error) {
 	if opt.Ranks < 1 {
 		opt.Ranks = 1

@@ -371,3 +371,33 @@ func TestGemmRecords(t *testing.T) {
 		}
 	}
 }
+
+// The serve experiment must report both systems at both concurrency
+// levels with bit-identity verified internally (Serve errors otherwise),
+// and its records must carry the trajectory shape dpbench -json commits.
+func TestServeShape(t *testing.T) {
+	res, err := Serve(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conc != 2 || len(res.Rows) != 2 {
+		t.Fatalf("conc = %d, rows = %d, want 2 and water+copper", res.Conc, len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Serial <= 0 || r.Concurrent <= 0 || r.Speedup <= 0 {
+			t.Fatalf("%s: non-positive measurement %+v", r.Label, r)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "water") || !strings.Contains(s, "conc x2") {
+		t.Fatal("serve table missing a system row or the concurrency column")
+	}
+	recs := res.Records()
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 2 per system", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Experiment != "serve" || rec.NsPerOp <= 0 || rec.Speedup <= 0 {
+			t.Fatalf("bad record %+v", rec)
+		}
+	}
+}

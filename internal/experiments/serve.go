@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"deepmd-go/internal/core"
+)
+
+// ServeRow is one system of the concurrent-serving contrast: aggregate
+// force-evaluation throughput of a single goroutine-safe Engine under 1
+// caller and under Conc concurrent callers borrowing from its evaluator
+// pool.
+type ServeRow struct {
+	Label string
+	Atoms int
+	// Serial is the best-of-rounds wall time per evaluation with one
+	// caller.
+	Serial time.Duration
+	// Concurrent is the best-of-rounds aggregate wall time per
+	// evaluation with Conc callers (wall / total evaluations).
+	Concurrent time.Duration
+	// Speedup is aggregate throughput gain: Serial / Concurrent.
+	Speedup float64
+}
+
+// ServeResult is the `dpbench -exp serve` experiment (ISSUE 5): the
+// serving primitive the Engine API exists for. One Engine, opened once,
+// serves N goroutines evaluating independent replicas of a system; the
+// pool hands each caller its own evaluator (arenas and all), so the
+// aggregate throughput should scale with cores while every result stays
+// bit-identical to a serial evaluation — which the experiment verifies
+// as it measures. On a single-core host the concurrent rows only verify
+// that pool handoff adds no meaningful overhead.
+type ServeResult struct {
+	Conc int
+	Rows []ServeRow
+}
+
+// Serve measures one Engine's aggregate evaluation throughput at 1 and
+// at conc concurrent callers on the water (nt = 2) and copper (nt = 1)
+// shapes, verifying bit-identical results across the pool as it goes.
+func Serve(sc Scale, conc int) (*ServeResult, error) {
+	if conc <= 0 {
+		conc = 8
+	}
+	rounds, evalsPerCaller := 3, 4
+	res := &ServeResult{Conc: conc}
+	for _, sys := range []struct {
+		label string
+		water bool
+	}{{"water", true}, {"copper", false}} {
+		var cfg core.Config
+		if sys.water {
+			cfg = waterModelConfig(sc)
+		} else {
+			cfg = copperModelConfig(sc)
+		}
+		model, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var pos []float64
+		var types []int
+		var lb listAndBox
+		if sys.water {
+			p, t, l, b, err := waterBox(&cfg, waterNX(sc), 3)
+			if err != nil {
+				return nil, err
+			}
+			pos, types, lb = p, t, listAndBox{l, b}
+		} else {
+			p, t, l, b, err := copperBox(&cfg, copperNX(sc))
+			if err != nil {
+				return nil, err
+			}
+			pos, types, lb = p, t, listAndBox{l, b}
+		}
+		n := len(types)
+		row := ServeRow{Label: sys.label, Atoms: n}
+
+		// One evaluator per concurrent caller, serial inside (the serving
+		// configuration: parallelism comes from independent requests, not
+		// from splitting one request across cores).
+		engine, err := core.NewEngine(model, core.Plan{Workers: 1, MaxConcurrency: conc})
+		if err != nil {
+			return nil, err
+		}
+
+		// Warm the whole pool so both measurements are steady-state, then
+		// take the serial reference.
+		if err := engine.Prewarm(pos, types, n, lb.l, lb.b); err != nil {
+			return nil, err
+		}
+		var ref core.Result
+		if err := engine.EvaluateInto(pos, types, n, lb.l, lb.b, &ref); err != nil {
+			return nil, err
+		}
+		var out core.Result
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for k := 0; k < conc*evalsPerCaller; k++ {
+				if err := engine.EvaluateInto(pos, types, n, lb.l, lb.b, &out); err != nil {
+					return nil, err
+				}
+			}
+			if el := time.Since(start) / time.Duration(conc*evalsPerCaller); row.Serial == 0 || el < row.Serial {
+				row.Serial = el
+			}
+		}
+
+		// Concurrent callers: same total evaluation count, conc
+		// goroutines, each with its own Result.
+		outs := make([]core.Result, conc)
+		errs := make([]error, conc)
+		for r := 0; r < rounds; r++ {
+			var wg sync.WaitGroup
+			start := time.Now()
+			for g := 0; g < conc; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for k := 0; k < evalsPerCaller; k++ {
+						if err := engine.EvaluateInto(pos, types, n, lb.l, lb.b, &outs[g]); err != nil {
+							errs[g] = err
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if el := time.Since(start) / time.Duration(conc*evalsPerCaller); row.Concurrent == 0 || el < row.Concurrent {
+				row.Concurrent = el
+			}
+		}
+		for g := 0; g < conc; g++ {
+			if errs[g] != nil {
+				return nil, errs[g]
+			}
+			// Pool handoff must not change the math: bit-identical to the
+			// serial reference, whichever evaluator served the call.
+			if outs[g].Energy != ref.Energy {
+				return nil, fmt.Errorf("experiments: serve %s: caller %d energy %.17g != serial %.17g", sys.label, g, outs[g].Energy, ref.Energy)
+			}
+			for i := range ref.Force {
+				if math.Float64bits(outs[g].Force[i]) != math.Float64bits(ref.Force[i]) {
+					return nil, fmt.Errorf("experiments: serve %s: caller %d force[%d] differs from serial", sys.label, g, i)
+				}
+			}
+		}
+		row.Speedup = float64(row.Serial) / float64(row.Concurrent)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String prints the throughput contrast.
+func (r *ServeResult) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, w := range r.Rows {
+		rows = append(rows, []string{
+			w.Label,
+			fmt.Sprintf("%d", w.Atoms),
+			ms(w.Serial),
+			ms(w.Concurrent),
+			fmt.Sprintf("%.2f", w.Speedup),
+		})
+	}
+	return fmt.Sprintf("Engine serving throughput: one goroutine-safe engine, 1 vs %d concurrent callers (ms/eval aggregate; results verified bit-identical across the pool)\n", r.Conc) +
+		table([]string{"system", "atoms", "serial", fmt.Sprintf("conc x%d", r.Conc), "speedup"}, rows)
+}
+
+// Records emits the machine-readable perf trajectory rows.
+func (r *ServeResult) Records() []Record {
+	var recs []Record
+	for _, w := range r.Rows {
+		shape := fmt.Sprintf("%s-%datoms", w.Label, w.Atoms)
+		// "/serial" (not "/c1") so a conc=1 run cannot emit two records
+		// under the same shape.
+		recs = append(recs,
+			Record{Experiment: "serve", Shape: shape + "/serial", NsPerOp: float64(w.Serial.Nanoseconds()), Speedup: 1},
+			Record{Experiment: "serve", Shape: fmt.Sprintf("%s/c%d", shape, r.Conc), NsPerOp: float64(w.Concurrent.Nanoseconds()), Speedup: w.Speedup},
+		)
+	}
+	return recs
+}

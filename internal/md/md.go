@@ -21,10 +21,21 @@ import (
 )
 
 // Potential computes energy, forces and virial for a configuration. It is
-// implemented by core.Evaluator, core.BaselineEvaluator and the refpot
-// potentials.
+// implemented by core.Engine, core.Evaluator, core.BaselineEvaluator and
+// the refpot potentials. Raw evaluators are single-goroutine; only a
+// core.Engine (or a stateless reference potential) may be shared between
+// concurrent simulations (RunEnsemble).
 type Potential interface {
 	Compute(pos []float64, types []int, nloc int, list *neighbor.List, box *neighbor.Box, out *core.Result) error
+}
+
+// WorkerHinter is implemented by potentials that know their per-evaluation
+// worker budget (core.Engine). When Options.Workers is unset, NewSim and
+// domain runs default the neighbor-build parallelism from the hint, so the
+// list rebuild keeps pace with the evaluator without the caller threading
+// the same number through every layer.
+type WorkerHinter interface {
+	EvalWorkers() int
 }
 
 // System is the mutable atomic state of a serial (single-rank) simulation.
@@ -149,9 +160,9 @@ type Options struct {
 	// SafetyCheck verifies the skin criterion at every rebuild and
 	// returns an error if the cadence was too lax.
 	SafetyCheck bool
-	// Workers is the goroutine count for neighbor-list construction
-	// (thread core.Config.Workers here so the rebuild keeps pace with the
-	// parallel evaluator). <= 1 builds serially.
+	// Workers is the goroutine count for neighbor-list construction.
+	// Zero defaults from the potential's own budget when it reports one
+	// (WorkerHinter, i.e. a core.Engine); <= 1 builds serially.
 	Workers int
 }
 
@@ -185,6 +196,11 @@ func NewSim(sys *System, pot Potential, opt Options) (*Sim, error) {
 	}
 	if len(sys.Vel) != 3*sys.N() {
 		sys.Vel = make([]float64, 3*sys.N())
+	}
+	if opt.Workers <= 0 {
+		if wh, ok := pot.(WorkerHinter); ok {
+			opt.Workers = wh.EvalWorkers()
+		}
 	}
 	return &Sim{
 		Sys:     sys,

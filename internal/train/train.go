@@ -146,17 +146,25 @@ func solveSym(a []float64, b []float64, n int) []float64 {
 
 // EnergyRMSE returns the per-atom energy RMSE of the model over frames.
 func EnergyRMSE(model *core.Model, frames []Frame) (float64, error) {
-	ev := core.NewEvaluator[float64](model)
 	spec := neighbor.Spec{Rcut: model.Cfg.Rcut, Skin: model.Cfg.Skin, Sel: model.Cfg.Sel}
+	return EnergyRMSEWith(core.NewEvaluator[float64](model), spec, model.Cfg.Workers, frames)
+}
+
+// EnergyRMSEWith returns the per-atom energy RMSE of any potential — a
+// core.Engine running whatever plan it was opened with, an evaluator, a
+// reference potential — over frames, so validation can run the exact
+// execution strategy that will serve the model (e.g. its compressed
+// tables) rather than always re-deriving a double batched evaluator.
+func EnergyRMSEWith(pot md.Potential, spec neighbor.Spec, workers int, frames []Frame) (float64, error) {
 	var sum float64
 	var res core.Result
 	for i := range frames {
 		f := &frames[i]
-		list, err := f.List(spec, model.Cfg.Workers)
+		list, err := f.List(spec, workers)
 		if err != nil {
 			return 0, err
 		}
-		if err := ev.Compute(f.Pos, f.Types, len(f.Types), list, &f.Box, &res); err != nil {
+		if err := pot.Compute(f.Pos, f.Types, len(f.Types), list, &f.Box, &res); err != nil {
 			return 0, err
 		}
 		d := (res.Energy - f.Energy) / float64(len(f.Types))
@@ -167,18 +175,23 @@ func EnergyRMSE(model *core.Model, frames []Frame) (float64, error) {
 
 // ForceRMSE returns the force RMSE (eV/A) of the model over frames.
 func ForceRMSE(model *core.Model, frames []Frame) (float64, error) {
-	ev := core.NewEvaluator[float64](model)
 	spec := neighbor.Spec{Rcut: model.Cfg.Rcut, Skin: model.Cfg.Skin, Sel: model.Cfg.Sel}
+	return ForceRMSEWith(core.NewEvaluator[float64](model), spec, model.Cfg.Workers, frames)
+}
+
+// ForceRMSEWith returns the force RMSE (eV/A) of any potential over
+// frames (see EnergyRMSEWith).
+func ForceRMSEWith(pot md.Potential, spec neighbor.Spec, workers int, frames []Frame) (float64, error) {
 	var sum float64
 	var count int
 	var res core.Result
 	for i := range frames {
 		f := &frames[i]
-		list, err := f.List(spec, model.Cfg.Workers)
+		list, err := f.List(spec, workers)
 		if err != nil {
 			return 0, err
 		}
-		if err := ev.Compute(f.Pos, f.Types, len(f.Types), list, &f.Box, &res); err != nil {
+		if err := pot.Compute(f.Pos, f.Types, len(f.Types), list, &f.Box, &res); err != nil {
 			return 0, err
 		}
 		for k := range f.Force {
