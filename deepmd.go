@@ -42,6 +42,7 @@ import (
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/domain"
 	"deepmd-go/internal/lattice"
+	"deepmd-go/internal/learn"
 	"deepmd-go/internal/md"
 	"deepmd-go/internal/neighbor"
 	"deepmd-go/internal/perfmodel"
@@ -372,6 +373,34 @@ type Trainer = train.Trainer
 // NewTrainer prepares a trainer for the model.
 func NewTrainer(model *Model, cfg TrainConfig) (*Trainer, error) {
 	return train.NewTrainer(model, cfg)
+}
+
+// Active learning (the DP-GEN concurrent-learning loop, cmd/dplearn).
+
+// LearnConfig drives the active-learning loop: ensemble size, exploration
+// MD, ε_f trust thresholds, harvest budget, training hyper-parameters.
+type LearnConfig = learn.Config
+
+// LearnReport is the machine-readable per-round convergence report.
+type LearnReport = learn.Report
+
+// Labeler produces reference energy/force labels for harvested frames —
+// the seam where DP-GEN submits configurations to DFT.
+type Labeler = learn.Labeler
+
+// NewReferenceLabeler wraps an analytic reference potential as a Labeler.
+func NewReferenceLabeler(pot Potential, spec NeighborSpec, workers int) Labeler {
+	return refpot.NewLabeler(pot, spec, workers)
+}
+
+// RunActiveLearning closes the concurrent-learning loop around base:
+// train an ensemble of replicas, explore with MD, bucket frames by force
+// model deviation, harvest and label the uncertain ones, retrain, iterate
+// until the candidate fraction collapses. Velocities and masses of base
+// are ignored (exploration draws fresh Boltzmann velocities; masses come
+// from cfg.Model.Masses).
+func RunActiveLearning(cfg LearnConfig, base *System, labeler Labeler) (*LearnReport, error) {
+	return learn.Run(cfg, &lattice.System{Pos: base.Pos, Types: base.Types, Box: base.Box}, labeler)
 }
 
 // Analysis.

@@ -1,0 +1,121 @@
+package learn
+
+import (
+	"math"
+	"sort"
+
+	"deepmd-go/internal/neighbor"
+)
+
+// Bucket is the DP-GEN trust classification of one explored frame by its
+// force model deviation. The ordering is meaningful: higher bucket means
+// higher deviation.
+type Bucket uint8
+
+const (
+	// Accurate frames (ε_f < lo) are already well described; they carry
+	// no new information and are discarded.
+	Accurate Bucket = iota
+	// Candidate frames (lo <= ε_f < hi) are uncertain but trustworthy
+	// enough to label — the harvest pool.
+	Candidate
+	// Failed frames (ε_f >= hi, or a non-finite statistic) come from
+	// regions the ensemble disagrees wildly about — usually unphysical
+	// configurations an under-trained replica wandered into. Labeling
+	// them would poison the dataset, so they only count as evidence of
+	// non-convergence.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (b Bucket) String() string {
+	switch b {
+	case Accurate:
+		return "accurate"
+	case Candidate:
+		return "candidate"
+	case Failed:
+		return "failed"
+	}
+	return "invalid"
+}
+
+// Classify buckets a force deviation against the lo/hi trust thresholds.
+// The partition is total over every float64 input: NaN classifies as
+// Failed (an exploding replica is exactly what that bucket exists for),
+// and an inverted pair (hi < lo) behaves as hi = lo so the three
+// intervals always tile the line. For fixed thresholds the map is
+// monotone: d1 <= d2 implies Classify(d1) <= Classify(d2).
+func Classify(dev, lo, hi float64) Bucket {
+	if hi < lo {
+		hi = lo
+	}
+	if math.IsNaN(dev) {
+		return Failed
+	}
+	switch {
+	case dev < lo:
+		return Accurate
+	case dev < hi:
+		return Candidate
+	default:
+		return Failed
+	}
+}
+
+// FrameKey uniquely identifies a captured exploration frame across the
+// whole run: which round, which replica's engine drove the trajectory,
+// which trajectory, and which snapshot along it. Keys are the loop's
+// no-double-harvest bookkeeping unit.
+type FrameKey struct {
+	Round, Replica, Traj, Snap int
+}
+
+// less orders keys lexicographically (the deterministic tie-break of the
+// harvest sort).
+func (k FrameKey) less(o FrameKey) bool {
+	if k.Round != o.Round {
+		return k.Round < o.Round
+	}
+	if k.Replica != o.Replica {
+		return k.Replica < o.Replica
+	}
+	if k.Traj != o.Traj {
+		return k.Traj < o.Traj
+	}
+	return k.Snap < o.Snap
+}
+
+// ScoredFrame is one captured exploration frame with its deviation
+// statistic and bucket.
+type ScoredFrame struct {
+	Key    FrameKey
+	Pos    []float64
+	Box    neighbor.Box
+	Dev    float64
+	Bucket Bucket
+}
+
+// SelectCandidates returns up to max candidate-bucket frames ordered by
+// decreasing deviation — label where the ensemble is most uncertain
+// first, the DP-GEN harvest rule. Ties (and only ties) break on the
+// frame key, so the selection is deterministic for any input order.
+// The input slice is not modified.
+func SelectCandidates(frames []ScoredFrame, max int) []ScoredFrame {
+	picked := make([]ScoredFrame, 0, max)
+	for _, f := range frames {
+		if f.Bucket == Candidate {
+			picked = append(picked, f)
+		}
+	}
+	sort.Slice(picked, func(i, j int) bool {
+		if picked[i].Dev != picked[j].Dev {
+			return picked[i].Dev > picked[j].Dev
+		}
+		return picked[i].Key.less(picked[j].Key)
+	})
+	if len(picked) > max {
+		picked = picked[:max]
+	}
+	return picked
+}

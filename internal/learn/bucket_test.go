@@ -1,0 +1,113 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClassifyThresholds(t *testing.T) {
+	cases := []struct {
+		dev, lo, hi float64
+		want        Bucket
+	}{
+		{0, 0.1, 0.3, Accurate},
+		{0.0999, 0.1, 0.3, Accurate},
+		{0.1, 0.1, 0.3, Candidate}, // lo is inclusive below
+		{0.2999, 0.1, 0.3, Candidate},
+		{0.3, 0.1, 0.3, Failed}, // hi is inclusive above
+		{1e9, 0.1, 0.3, Failed},
+		{math.Inf(1), 0.1, 0.3, Failed},
+		{math.NaN(), 0.1, 0.3, Failed},
+		{0.2, 0.3, 0.1, Accurate}, // inverted pair behaves as hi = lo
+		{0.4, 0.3, 0.1, Failed},
+	}
+	for _, c := range cases {
+		if got := Classify(c.dev, c.lo, c.hi); got != c.want {
+			t.Errorf("Classify(%g, %g, %g) = %v, want %v", c.dev, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// randomFrames builds n scored frames with random deviations and unique
+// keys, classified against lo/hi.
+func randomFrames(rng *rand.Rand, n int, lo, hi float64) []ScoredFrame {
+	frames := make([]ScoredFrame, n)
+	for i := range frames {
+		dev := 2 * hi * rng.Float64()
+		if rng.Intn(8) == 0 {
+			dev = frames[rng.Intn(i+1)].Dev // force ties
+		}
+		frames[i] = ScoredFrame{
+			Key:    FrameKey{Round: rng.Intn(3), Replica: rng.Intn(3), Traj: rng.Intn(4), Snap: i},
+			Dev:    dev,
+			Bucket: Classify(dev, lo, hi),
+		}
+	}
+	return frames
+}
+
+// SelectCandidates is a deterministic selection: only candidate-bucket
+// frames, ordered by decreasing deviation with key tie-break, capped at
+// max, no duplicates, and invariant to any permutation of its input.
+func TestSelectCandidatesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const lo, hi = 0.3, 1.2
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		max := 1 + rng.Intn(12)
+		frames := randomFrames(rng, n, lo, hi)
+		picked := SelectCandidates(frames, max)
+
+		if len(picked) > max {
+			t.Fatalf("trial %d: picked %d > max %d", trial, len(picked), max)
+		}
+		ncand := 0
+		for _, f := range frames {
+			if f.Bucket == Candidate {
+				ncand++
+			}
+		}
+		if want := ncand; want > max {
+			want = max
+		} else if len(picked) != want {
+			t.Fatalf("trial %d: picked %d of %d candidates with max %d", trial, len(picked), ncand, max)
+		}
+		seen := map[FrameKey]struct{}{}
+		for i, f := range picked {
+			if f.Bucket != Candidate {
+				t.Fatalf("trial %d: picked a %v frame", trial, f.Bucket)
+			}
+			if _, dup := seen[f.Key]; dup {
+				t.Fatalf("trial %d: key %+v picked twice", trial, f.Key)
+			}
+			seen[f.Key] = struct{}{}
+			if i > 0 {
+				prev := picked[i-1]
+				if f.Dev > prev.Dev || (f.Dev == prev.Dev && f.Key.less(prev.Key)) {
+					t.Fatalf("trial %d: order violated at %d: %+v after %+v", trial, i, f, prev)
+				}
+			}
+		}
+
+		// Permutation invariance.
+		shuffled := append([]ScoredFrame(nil), frames...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		again := SelectCandidates(shuffled, max)
+		if len(again) != len(picked) {
+			t.Fatalf("trial %d: shuffled input picked %d, original %d", trial, len(again), len(picked))
+		}
+		for i := range again {
+			if again[i].Key != picked[i].Key {
+				t.Fatalf("trial %d: selection depends on input order at %d: %+v vs %+v",
+					trial, i, again[i].Key, picked[i].Key)
+			}
+		}
+		// Input must not be reordered.
+		for i := range frames {
+			if shuffledOrig := frames[i].Key.Snap; shuffledOrig != i {
+				t.Fatalf("trial %d: input slice mutated at %d", trial, i)
+			}
+		}
+	}
+}

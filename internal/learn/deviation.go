@@ -1,0 +1,91 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/md"
+	"deepmd-go/internal/neighbor"
+)
+
+// ForceDeviations fills out (growing it if needed) with the per-atom
+// ensemble force deviation
+//
+//	σ_i = sqrt( (1/k) Σ_r ‖F_i^(r) − ⟨F_i⟩‖² ),   ⟨F_i⟩ = (1/k) Σ_r F_i^(r)
+//
+// over the k replica force arrays forces[r] (each with at least 3*nloc
+// components). This is the per-atom statistic under DP-GEN's ε_f model
+// deviation; identical replicas give exactly zero. The result is
+// invariant to replica ordering up to floating-point summation order
+// (the replica sums run in slice order).
+func ForceDeviations(forces [][]float64, nloc int, out []float64) []float64 {
+	k := float64(len(forces))
+	if cap(out) < nloc {
+		out = make([]float64, nloc)
+	}
+	out = out[:nloc]
+	for i := 0; i < nloc; i++ {
+		var mean [3]float64
+		for _, f := range forces {
+			mean[0] += f[3*i]
+			mean[1] += f[3*i+1]
+			mean[2] += f[3*i+2]
+		}
+		mean[0] /= k
+		mean[1] /= k
+		mean[2] /= k
+		var msd float64
+		for _, f := range forces {
+			dx := f[3*i] - mean[0]
+			dy := f[3*i+1] - mean[1]
+			dz := f[3*i+2] - mean[2]
+			msd += dx*dx + dy*dy + dz*dz
+		}
+		out[i] = math.Sqrt(msd / k)
+	}
+	return out
+}
+
+// MaxForceDeviation returns DP-GEN's ε_f statistic for one frame: the
+// maximum per-atom force deviation over the ensemble,
+// max_i sqrt(⟨‖F_i − ⟨F_i⟩‖²⟩). NaN force components propagate to a NaN
+// statistic (which Classify buckets as Failed).
+func MaxForceDeviation(forces [][]float64, nloc int) float64 {
+	devs := ForceDeviations(forces, nloc, nil)
+	var eps float64
+	for _, d := range devs {
+		if math.IsNaN(d) {
+			return math.NaN()
+		}
+		if d > eps {
+			eps = d
+		}
+	}
+	return eps
+}
+
+// EnsembleForces evaluates one configuration with every replica potential
+// over a single shared neighbor list and returns the k force arrays
+// (trimmed to the local atoms). The potentials run sequentially in slice
+// order, so results are deterministic regardless of each potential's
+// internal parallelism.
+func EnsembleForces(pots []md.Potential, spec neighbor.Spec, workers int, pos []float64, types []int, box *neighbor.Box) ([][]float64, error) {
+	if len(pots) == 0 {
+		return nil, fmt.Errorf("learn: empty ensemble")
+	}
+	nloc := len(types)
+	list, err := neighbor.Build(spec, pos, types, nloc, box, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(pots))
+	var result core.Result
+	for r, p := range pots {
+		if err := p.Compute(pos, types, nloc, list, box, &result); err != nil {
+			return nil, fmt.Errorf("learn: replica %d force evaluation: %w", r, err)
+		}
+		out[r] = append([]float64(nil), result.Force[:3*nloc]...)
+	}
+	return out, nil
+}

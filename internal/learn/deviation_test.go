@@ -1,0 +1,129 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/lattice"
+	"deepmd-go/internal/md"
+	"deepmd-go/internal/neighbor"
+)
+
+// For k = 2 the per-atom deviation reduces to half the force difference:
+// mean = (a+b)/2, each replica deviates by ±(a−b)/2, so
+// σ = sqrt(2·‖(a−b)/2‖²/2) = ‖a−b‖/2.
+func TestForceDeviationsTwoReplicas(t *testing.T) {
+	a := []float64{1, 2, 3, -1, 0, 2}
+	b := []float64{0, 2, 5, -1, 4, 2}
+	devs := ForceDeviations([][]float64{a, b}, 2, nil)
+	want0 := math.Sqrt(1+0+4) / 2 // ‖(1,0,-2)‖/2
+	want1 := math.Sqrt(0+16+0) / 2
+	if math.Abs(devs[0]-want0) > 1e-15 || math.Abs(devs[1]-want1) > 1e-15 {
+		t.Fatalf("devs = %v, want [%g %g]", devs, want0, want1)
+	}
+	if eps := MaxForceDeviation([][]float64{a, b}, 2); math.Abs(eps-want1) > 1e-15 {
+		t.Fatalf("ε_f = %g, want %g (max over atoms)", eps, want1)
+	}
+}
+
+// k = 3, one atom, hand-computed: forces (0,0,0), (3,0,0), (0,3,0).
+// Mean (1,1,0); squared deviations 1+1, 4+1, 1+4 → msd = 12/3 = 4, σ = 2.
+func TestForceDeviationsThreeReplicas(t *testing.T) {
+	forces := [][]float64{{0, 0, 0}, {3, 0, 0}, {0, 3, 0}}
+	devs := ForceDeviations(forces, 1, nil)
+	if math.Abs(devs[0]-2) > 1e-15 {
+		t.Fatalf("σ = %g, want 2", devs[0])
+	}
+}
+
+// Identical replicas must give exactly zero — not merely small.
+func TestForceDeviationsIdenticalReplicasExactlyZero(t *testing.T) {
+	f := []float64{0.1, -0.7, 3.14, 1e-8, 2e5, -0.25}
+	devs := ForceDeviations([][]float64{f, f, f, f}, 2, nil)
+	for i, d := range devs {
+		if d != 0 {
+			t.Fatalf("atom %d: σ = %g for identical replicas, want exactly 0", i, d)
+		}
+	}
+}
+
+// ε_f is a symmetric statistic: permuting the replicas changes only the
+// floating-point summation order.
+func TestMaxForceDeviationReplicaOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k, nloc = 4, 9
+	forces := make([][]float64, k)
+	for r := range forces {
+		forces[r] = make([]float64, 3*nloc)
+		for i := range forces[r] {
+			forces[r][i] = 2*rng.Float64() - 1
+		}
+	}
+	ref := MaxForceDeviation(forces, nloc)
+	perm := [][]float64{forces[2], forces[0], forces[3], forces[1]}
+	got := MaxForceDeviation(perm, nloc)
+	if math.Abs(got-ref) > 1e-12*(1+math.Abs(ref)) {
+		t.Fatalf("permuted ε_f = %.17g, original %.17g", got, ref)
+	}
+}
+
+func TestMaxForceDeviationNaNPropagates(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{math.NaN(), 0, 0}
+	if eps := MaxForceDeviation([][]float64{a, b}, 1); !math.IsNaN(eps) {
+		t.Fatalf("ε_f = %g over a NaN force, want NaN", eps)
+	}
+	if got := Classify(math.NaN(), 0.1, 0.5); got != Failed {
+		t.Fatalf("NaN classified %v, want failed", got)
+	}
+}
+
+// ensembleEngines builds k tiny replica models (distinct weight seeds) and
+// opens one engine per replica under the given plan.
+func ensembleEngines(t *testing.T, k int, plan core.Plan) ([]md.Potential, neighbor.Spec, *lattice.System) {
+	t.Helper()
+	cfg := core.TinyConfig(1)
+	cfg.Rcut = 3.0
+	cfg.RcutSmth = 1.0
+	cfg.Skin = 0.5
+	base := lattice.FCC(2, 2, 2, 4.2)
+	pots := make([]md.Potential, k)
+	for r := 0; r < k; r++ {
+		mc := cfg
+		mc.Seed = int64(100 + r)
+		m, err := core.New(mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.NewEngine(m, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pots[r] = e
+	}
+	return pots, neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}, base
+}
+
+// The engine determinism contract extends to the deviation statistic:
+// ε_f must be bit-identical at any worker count.
+func TestEnsembleForcesWorkerInvariance(t *testing.T) {
+	var ref float64
+	for i, workers := range []int{1, 2, 7} {
+		pots, spec, base := ensembleEngines(t, 3, core.Plan{Workers: workers})
+		forces, err := EnsembleForces(pots, spec, workers, base.Pos, base.Types, &base.Box)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := MaxForceDeviation(forces, base.N())
+		if eps <= 0 {
+			t.Fatalf("workers=%d: ε_f = %g over distinct replicas, want > 0", workers, eps)
+		}
+		if i == 0 {
+			ref = eps
+		} else if eps != ref {
+			t.Fatalf("workers=%d: ε_f = %.17g, workers=1 gave %.17g (must be bit-identical)", workers, eps, ref)
+		}
+	}
+}

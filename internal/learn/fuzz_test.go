@@ -1,0 +1,110 @@
+package learn
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzClassify drives the bucketing invariants with arbitrary float64
+// inputs: the classification is a total partition (every input lands in
+// exactly one of the three buckets), monotone in the deviation for fixed
+// thresholds, and non-finite statistics always fail.
+func FuzzClassify(f *testing.F) {
+	f.Add(0.05, 0.1, 0.3, 0.2)
+	f.Add(0.3, 0.1, 0.3, 0.31)
+	f.Add(math.NaN(), 0.1, 0.3, 0.0)
+	f.Add(0.2, 0.3, 0.1, 0.4)          // inverted thresholds
+	f.Add(math.Inf(1), 0.1, 0.3, -1.0) // overflow + negative
+	f.Fuzz(func(t *testing.T, d1, lo, hi, d2 float64) {
+		b1 := Classify(d1, lo, hi)
+		b2 := Classify(d2, lo, hi)
+		for _, b := range []Bucket{b1, b2} {
+			if b != Accurate && b != Candidate && b != Failed {
+				t.Fatalf("Classify returned invalid bucket %d", b)
+			}
+		}
+		if math.IsNaN(d1) || math.IsInf(d1, 1) {
+			if b1 != Failed {
+				t.Fatalf("Classify(%g, %g, %g) = %v, want failed for non-finite", d1, lo, hi, b1)
+			}
+		}
+		// Monotone: a larger deviation never lands in a lower bucket.
+		if !math.IsNaN(d1) && !math.IsNaN(d2) && d1 <= d2 && b1 > b2 {
+			t.Fatalf("monotonicity violated: Classify(%g)=%v > Classify(%g)=%v (lo %g hi %g)",
+				d1, b1, d2, b2, lo, hi)
+		}
+		// Deterministic.
+		if Classify(d1, lo, hi) != b1 {
+			t.Fatalf("Classify(%g, %g, %g) not deterministic", d1, lo, hi)
+		}
+	})
+}
+
+// FuzzSelectCandidates checks the harvest selection on fuzz-derived frame
+// sets: the pick is a subset of the candidate bucket, capped, duplicate-
+// free (given unique keys), sorted by decreasing deviation, and the total
+// bucket partition is preserved.
+func FuzzSelectCandidates(f *testing.F) {
+	f.Add(int64(1), 10, 4, 0.1, 0.5)
+	f.Add(int64(99), 0, 1, 0.2, 0.2)
+	f.Add(int64(7), 33, 100, 0.3, 0.05) // inverted thresholds
+	f.Fuzz(func(t *testing.T, seed int64, n, max int, lo, hi float64) {
+		if n < 0 || n > 256 || max < 0 || max > 256 {
+			t.Skip()
+		}
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Skip()
+		}
+		rng := newSplitMix(seed)
+		frames := make([]ScoredFrame, n)
+		counts := [3]int{}
+		for i := range frames {
+			dev := (hi + lo) * rng.float64()
+			if i%7 == 3 {
+				dev = math.NaN()
+			}
+			b := Classify(dev, lo, hi)
+			counts[b]++
+			frames[i] = ScoredFrame{Key: FrameKey{Snap: i}, Dev: dev, Bucket: b}
+		}
+		if counts[0]+counts[1]+counts[2] != n {
+			t.Fatalf("partition not total: %v over %d frames", counts, n)
+		}
+		picked := SelectCandidates(frames, max)
+		if len(picked) > max {
+			t.Fatalf("picked %d > max %d", len(picked), max)
+		}
+		if counts[Candidate] >= max && len(picked) != max {
+			t.Fatalf("picked %d with %d candidates available and max %d", len(picked), counts[Candidate], max)
+		}
+		seen := map[FrameKey]struct{}{}
+		for i, fr := range picked {
+			if fr.Bucket != Candidate {
+				t.Fatalf("picked %v frame", fr.Bucket)
+			}
+			if _, dup := seen[fr.Key]; dup {
+				t.Fatalf("key %+v picked twice", fr.Key)
+			}
+			seen[fr.Key] = struct{}{}
+			if i > 0 && fr.Dev > picked[i-1].Dev {
+				t.Fatalf("not sorted by decreasing deviation at %d", i)
+			}
+		}
+	})
+}
+
+// newSplitMix is a tiny deterministic generator for fuzz bodies — the
+// fuzzer varies the seed, the body stays reproducible.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{uint64(seed)} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitMix) float64() float64 { return float64(r.next()>>11) / (1 << 53) }

@@ -1,0 +1,31 @@
+package md
+
+import "deepmd-go/internal/neighbor"
+
+// Snapshot is one captured trajectory frame: the step counter after the
+// integration step that produced it, a copy of the positions, and the box
+// at capture time (the box matters under Deform). Velocities are not
+// captured — consumers (the active-learning deviation pass in
+// internal/learn) re-evaluate potentials on the configuration, which only
+// needs positions.
+type Snapshot struct {
+	Step int
+	Pos  []float64
+	Box  neighbor.Box
+}
+
+// capture appends a snapshot of the current configuration to s.Traj when
+// the Options.CaptureEvery cadence says so. Positions are copied, so the
+// snapshot stays valid as the simulation moves on; each Sim owns its own
+// Traj, which keeps ensemble replicas (RunEnsemble) race-free and their
+// captured trajectories bit-identical to serial runs.
+func (s *Sim) capture() {
+	if s.Opt.CaptureEvery <= 0 || s.step%s.Opt.CaptureEvery != 0 {
+		return
+	}
+	s.Traj = append(s.Traj, Snapshot{
+		Step: s.step,
+		Pos:  append([]float64(nil), s.Sys.Pos...),
+		Box:  s.Sys.Box,
+	})
+}

@@ -164,6 +164,11 @@ type Options struct {
 	// Zero defaults from the potential's own budget when it reports one
 	// (WorkerHinter, i.e. a core.Engine); <= 1 builds serially.
 	Workers int
+	// CaptureEvery snapshots the configuration every this many steps into
+	// Sim.Traj (0 disables). Exploration drivers (internal/learn) consume
+	// the captured trajectory offline — e.g. to compute ensemble force
+	// deviation — without re-running the dynamics.
+	CaptureEvery int
 }
 
 // Sim drives one serial MD run.
@@ -176,6 +181,9 @@ type Sim struct {
 	Timer *perf.Timer
 	// Thermo log, one entry per sample.
 	Log []Thermo
+	// Traj holds the captured trajectory, one Snapshot every
+	// Options.CaptureEvery steps (empty when capture is disabled).
+	Traj []Snapshot
 
 	list    *neighbor.List
 	tracker *neighbor.Tracker
@@ -275,6 +283,7 @@ func (s *Sim) Step() error {
 	if s.step%s.Opt.ThermoEvery == 0 {
 		s.sample()
 	}
+	s.capture()
 	return nil
 }
 

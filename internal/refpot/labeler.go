@@ -1,0 +1,57 @@
+package refpot
+
+import (
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/neighbor"
+)
+
+// potential is the md.Potential seam restated locally, so the adapter
+// works over any reference potential (or DP engine) without this package
+// importing the MD engine.
+type potential interface {
+	Compute(pos []float64, types []int, nloc int, list *neighbor.List, box *neighbor.Box, out *core.Result) error
+}
+
+// Labeler adapts an analytic reference potential into the active-learning
+// labeling seam (internal/learn.Labeler): given a bare configuration it
+// builds the neighbor list and returns the reference energy and forces —
+// the stand-in for submitting a harvested frame to DFT in the concurrent
+// learning scheme. Being analytic, labels are deterministic and instant,
+// which is what lets the whole loop close offline in CI.
+//
+// A Labeler is safe for sequential reuse; it keeps one scratch Result to
+// stay allocation-light across many frames. It is not goroutine-safe.
+type Labeler struct {
+	// Pot computes the reference energies and forces (one of this
+	// package's potentials, typically).
+	Pot potential
+	// Spec is the neighbor requirement of Pot (cutoff + skin + sel).
+	Spec neighbor.Spec
+	// Workers is the goroutine count for neighbor-list builds.
+	Workers int
+
+	res core.Result
+}
+
+// NewLabeler builds a Labeler over pot with the given neighbor spec.
+func NewLabeler(pot potential, spec neighbor.Spec, workers int) *Labeler {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Labeler{Pot: pot, Spec: spec, Workers: workers}
+}
+
+// Label returns the reference energy and a fresh copy of the forces for
+// the configuration (implements internal/learn.Labeler).
+func (l *Labeler) Label(pos []float64, types []int, box *neighbor.Box) (float64, []float64, error) {
+	nloc := len(types)
+	list, err := neighbor.Build(l.Spec, pos, types, nloc, box, l.Workers)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := l.Pot.Compute(pos, types, nloc, list, box, &l.res); err != nil {
+		return 0, nil, err
+	}
+	force := append([]float64(nil), l.res.Force[:3*nloc]...)
+	return l.res.Energy, force, nil
+}

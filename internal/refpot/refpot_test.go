@@ -10,11 +10,8 @@ import (
 	"deepmd-go/internal/neighbor"
 )
 
-type potential interface {
-	Compute(pos []float64, types []int, nloc int, list *neighbor.List, box *neighbor.Box, out *core.Result) error
-}
-
 // forceFiniteDiff validates F = -dE/dx for a handful of coordinates.
+// (The potential interface is labeler.go's md.Potential restatement.)
 func forceFiniteDiff(t *testing.T, pot potential, pos []float64, types []int, box *neighbor.Box, spec neighbor.Spec, tol float64) {
 	t.Helper()
 	n := len(types)
@@ -260,5 +257,55 @@ func TestLJVirialStrainDerivative(t *testing.T) {
 	tr := res.Virial[0] + res.Virial[4] + res.Virial[8]
 	if math.Abs(tr-(-dE)) > 1e-4*(1+math.Abs(dE)) {
 		t.Fatalf("tr(W) = %g, -dE/deps = %g", tr, -dE)
+	}
+}
+
+// The Labeler adapter must return exactly what a direct Compute over a
+// freshly built list returns, copy the forces (no aliasing of its scratch
+// across calls), and trim forces to the local atoms.
+func TestLabelerMatchesDirectCompute(t *testing.T) {
+	base := lattice.FCC(2, 2, 2, 4.2)
+	lj := NewLennardJones(0.05, 2.6, 3.0)
+	spec := neighbor.Spec{Rcut: 3.0, Skin: 0.5, Sel: []int{16}}
+	lab := NewLabeler(lj, spec, 1)
+
+	e, f, err := lab.Label(base.Pos, base.Types, &base.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 3*base.N() {
+		t.Fatalf("labeler returned %d force components for %d atoms", len(f), base.N())
+	}
+	list, err := neighbor.Build(spec, base.Pos, base.Types, base.N(), &base.Box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res core.Result
+	if err := lj.Compute(base.Pos, base.Types, base.N(), list, &base.Box, &res); err != nil {
+		t.Fatal(err)
+	}
+	if e != res.Energy {
+		t.Fatalf("labeler energy %g != direct %g", e, res.Energy)
+	}
+	for k := range f {
+		if f[k] != res.Force[k] {
+			t.Fatalf("labeler force[%d] %g != direct %g", k, f[k], res.Force[k])
+		}
+	}
+
+	// A second label on a perturbed configuration must not overwrite the
+	// first call's returned forces (copy semantics of the scratch Result).
+	pos2 := append([]float64(nil), base.Pos...)
+	for i := range pos2 {
+		pos2[i] += 0.05
+	}
+	f0 := append([]float64(nil), f...)
+	if _, _, err := lab.Label(pos2, base.Types, &base.Box); err != nil {
+		t.Fatal(err)
+	}
+	for k := range f {
+		if f[k] != f0[k] {
+			t.Fatal("second Label call mutated the forces returned by the first")
+		}
 	}
 }

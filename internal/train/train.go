@@ -214,6 +214,17 @@ type Config struct {
 	BatchSize int
 	// Seed shuffles batches.
 	Seed int64
+	// StartStep starts the learning-rate schedule at this step instead of
+	// zero — the warm-start knob for continuing from a checkpointed model.
+	// Retraining a converged model at the full initial LR can undo it; a
+	// caller resuming training (the active-learning loop, a restarted
+	// dptrain run) passes the cumulative step count so the decayed LR
+	// carries over. Optimizer state reset policy: Adam moments always
+	// start FRESH — checkpoints carry weights, not optimizer state, so a
+	// warm-started trainer rebuilds its first/second moments from the new
+	// gradients and Adam's bias correction restarts at t = 0. Only the LR
+	// schedule resumes.
+	StartStep int
 	// NeighborWorkers is the goroutine count for neighbor-list builds of
 	// uncached frames; the evaluator itself must stay serial (parameter
 	// gradients require Workers = 1) but list construction need not.
@@ -228,7 +239,11 @@ type Config struct {
 	GemmWorkers int
 }
 
-// Trainer minimizes the per-atom energy loss over a dataset.
+// Trainer minimizes the per-atom energy loss over a dataset. A Trainer
+// may be constructed over a freshly initialized model or over an already
+// trained one (warm start): weights are updated in place either way, and
+// Config.StartStep controls whether the learning-rate schedule restarts
+// or resumes.
 type Trainer struct {
 	Model *core.Model
 	Cfg   Config
@@ -265,9 +280,13 @@ func NewTrainer(model *core.Model, cfg Config) (*Trainer, error) {
 	if cfg.GemmWorkers <= 0 {
 		cfg.GemmWorkers = 1
 	}
+	if cfg.StartStep < 0 {
+		cfg.StartStep = 0
+	}
 	ev := core.NewEvaluator[float64](model)
 	ev.SetGemmWorkers(cfg.GemmWorkers)
 	return &Trainer{
+		step:    cfg.StartStep,
 		Model:   model,
 		Cfg:     cfg,
 		ev:      ev,
@@ -278,6 +297,12 @@ func NewTrainer(model *core.Model, cfg Config) (*Trainer, error) {
 		spec:    neighbor.Spec{Rcut: model.Cfg.Rcut, Skin: model.Cfg.Skin, Sel: model.Cfg.Sel},
 	}, nil
 }
+
+// CurrentStep returns the schedule step the next Step call will run at —
+// Config.StartStep plus the steps taken so far. Callers chaining training
+// stages (the active-learning loop) pass it as the next stage's StartStep
+// so the learning-rate decay accumulates across retrains.
+func (t *Trainer) CurrentStep() int { return t.step }
 
 // LR returns the current decayed learning rate.
 func (t *Trainer) LR() float64 {

@@ -167,6 +167,64 @@ func TestLRDecay(t *testing.T) {
 	}
 }
 
+// Warm start: StartStep must resume the learning-rate schedule instead of
+// restarting it at the full initial LR.
+func TestWarmStartResumesLRSchedule(t *testing.T) {
+	model, _ := tinyModelAndData(t, 2)
+	tr, err := NewTrainer(model, Config{LR: 1e-3, DecayRate: 0.5, DecaySteps: 10, Seed: 1, StartStep: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.CurrentStep(); got != 20 {
+		t.Fatalf("CurrentStep = %d, want 20", got)
+	}
+	if got := tr.LR(); math.Abs(got-2.5e-4) > 1e-12 {
+		t.Fatalf("warm-started LR %g, want 2.5e-4 (two decay periods)", got)
+	}
+}
+
+// Warm-starting on a SUPERSET dataset must not worsen the training-set
+// RMSE: the regression the active-learning loop depends on when it grows
+// the dataset and retrains from the previous round's weights. (The first
+// training stage leaves the model well off convergence, so the resumed-LR
+// retrain has clear downhill to go; seeded, deterministic.)
+func TestWarmStartSupersetNeverWorsensRMSE(t *testing.T) {
+	model, frames := tinyModelAndData(t, 16)
+	subset := frames[:8]
+	tr, err := NewTrainer(model, Config{LR: 3e-3, BatchSize: 4, DecayRate: 0.97, DecaySteps: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := tr.Step(subset); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := EnergyRMSE(model, frames) // superset RMSE before retrain
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Continue from the trained weights on the grown dataset, resuming the
+	// decayed LR at the cumulative step count.
+	tr2, err := NewTrainer(model, Config{LR: 3e-3, BatchSize: 4, DecayRate: 0.97, DecaySteps: 20,
+		Seed: 6, StartStep: tr.CurrentStep()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 240; i++ {
+		if _, err := tr2.Step(frames); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := EnergyRMSE(model, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Fatalf("superset retrain worsened training-set RMSE: %g -> %g", before, after)
+	}
+}
+
 func TestForceRMSEFinite(t *testing.T) {
 	model, frames := tinyModelAndData(t, 3)
 	rmse, err := ForceRMSE(model, frames)
