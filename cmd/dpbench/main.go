@@ -3,21 +3,26 @@
 //
 // Usage:
 //
-//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|neighbor|gemm|batch|compress|serve|all
-//	        [-full] [-ranks N] [-workers N] [-json]
+//	dpbench -exp table1|table3|fusion|fig3|fig4|fig5|fig6|fig7|table4|mixed|single|setup|scaling|neighbor|gemm|batch|compress|serve|load|all
+//	        [-full] [-ranks N] [-workers N] [-json] [-url http://host:port]
 //
 // By default experiments run at Quick scale (seconds on one CPU core);
 // -full uses the paper's network geometry and larger systems. -json
 // suppresses the tables and prints a JSON array of machine-readable
-// measurements (experiment, shape, ns/op, speedup) from the experiments
-// that support them — the perf trajectory seeded in BENCH_*.json and
-// uploaded as a CI artifact.
+// measurements (experiment, shape, ns/op, speedup, latency percentiles)
+// from the experiments that support them — the perf trajectory seeded in
+// BENCH_*.json and uploaded as a CI artifact. With -json, stdout carries
+// ONLY the JSON array; all human-readable progress and diagnostics go to
+// stderr, so `dpbench -json > BENCH.json` can never capture corrupt JSON.
+// -url points the load experiment at a running dpserve daemon instead of
+// driving the serving stack in-process.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,12 +30,25 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, neighbor, gemm, batch, compress, serve, all")
-	full := flag.Bool("full", false, "use paper-scale networks and larger systems (slow on CPU)")
-	ranks := flag.Int("ranks", 4, "simulated ranks for setup/scaling experiments")
-	workers := flag.Int("workers", 8, "max goroutines for the neighbor, gemm and batch experiments; concurrent callers for serve")
-	jsonOut := flag.Bool("json", false, "print machine-readable JSON records instead of tables")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process seams injected: args are the command-line
+// arguments, stdout receives results (and nothing else in -json mode),
+// stderr receives progress and errors. The exit code is returned instead
+// of calling os.Exit, so tests can drive the whole binary in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dpbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run (comma separated): table1, table3, fusion, fig3, fig4, fig5, fig6, fig7, table4, mixed, single, setup, scaling, neighbor, gemm, batch, compress, serve, load, all")
+	full := fs.Bool("full", false, "use paper-scale networks and larger systems (slow on CPU)")
+	ranks := fs.Int("ranks", 4, "simulated ranks for setup/scaling experiments")
+	workers := fs.Int("workers", 8, "max goroutines for the neighbor, gemm and batch experiments; concurrent callers for serve and load")
+	jsonOut := fs.Bool("json", false, "print machine-readable JSON records on stdout (all human output moves to stderr)")
+	url := fs.String("url", "", "drive the load experiment against a running dpserve daemon at this base URL")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	sc := experiments.Quick
 	if *full {
@@ -72,6 +90,7 @@ func main() {
 		"batch":    func() (any, error) { return experiments.DescriptorBatch(sc, *workers) },
 		"compress": func() (any, error) { return experiments.CompressEmbedding(sc, *workers) },
 		"serve":    func() (any, error) { return experiments.Serve(sc, *workers) },
+		"load":     func() (any, error) { return experiments.Load(sc, *workers, *url) },
 		"neighbor": func() (any, error) { return experiments.NeighborBuild(sc, *workers) },
 		"scaling": func() (any, error) {
 			counts := []int{1, 2, 4}
@@ -81,7 +100,7 @@ func main() {
 			return experiments.LocalScaling(sc, 20, counts)
 		},
 	}
-	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "gemm", "batch", "compress", "serve", "neighbor", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
+	order := []string{"table1", "table3", "fusion", "fig3", "mixed", "single", "gemm", "batch", "compress", "serve", "load", "neighbor", "fig4", "fig5", "fig6", "table4", "setup", "scaling", "fig7"}
 
 	var names []string
 	if *exp == "all" {
@@ -92,26 +111,30 @@ func main() {
 	// Only these experiments report machine-readable records; in -json mode
 	// the others are skipped up front instead of silently burning their
 	// runtime and contributing nothing.
-	recorders := map[string]bool{"gemm": true, "batch": true, "compress": true, "serve": true}
+	recorders := map[string]bool{"gemm": true, "batch": true, "compress": true, "serve": true, "load": true}
 	records := []experiments.Record{}
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		f, ok := run[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "dpbench: unknown experiment %q\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "dpbench: unknown experiment %q\n", name)
+			return 2
 		}
 		if *jsonOut && !recorders[name] {
-			fmt.Fprintf(os.Stderr, "dpbench: %s produces no JSON records; skipping\n", name)
+			fmt.Fprintf(stderr, "dpbench: %s produces no JSON records; skipping\n", name)
 			continue
 		}
-		if !*jsonOut {
-			fmt.Printf("==== %s ====\n", name)
+		// The banner is progress, not data: with -json it belongs on
+		// stderr so stdout stays a single parseable JSON document.
+		if *jsonOut {
+			fmt.Fprintf(stderr, "==== %s ====\n", name)
+		} else {
+			fmt.Fprintf(stdout, "==== %s ====\n", name)
 		}
 		res, err := f()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dpbench: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dpbench: %s: %v\n", name, err)
+			return 1
 		}
 		if *jsonOut {
 			if rec, ok := res.(experiments.Recorder); ok {
@@ -119,14 +142,15 @@ func main() {
 			}
 			continue
 		}
-		fmt.Println(res)
+		fmt.Fprintln(stdout, res)
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(records); err != nil {
-			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "dpbench: %v\n", err)
+			return 1
 		}
 	}
+	return 0
 }

@@ -23,7 +23,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"deepmd-go/internal/cliopt"
 	"deepmd-go/internal/core"
@@ -166,14 +165,9 @@ func main() {
 	}
 
 	if *report != "" {
-		f, err := os.Create(*report)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := rep.WriteJSON(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		// Temp-and-rename: an interrupted run must not leave a truncated
+		// file that passes for a report (see atomicWrite).
+		if err := atomicWrite(*report, rep.WriteJSON); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *report)

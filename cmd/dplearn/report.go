@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// atomicWrite writes a file by streaming through a temp file in the same
+// directory and renaming it into place, so an interrupted or failed run
+// can never leave a truncated file at the final path that looks like a
+// complete report (-report used to os.Create the destination directly).
+// On any error the temp file is removed and the destination — including a
+// pre-existing report from an earlier run — is left untouched.
+func atomicWrite(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return cleanup(err)
+	}
+	// The rename only publishes bytes that reached the disk.
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("publish %s: %w", path, err)
+	}
+	return nil
+}

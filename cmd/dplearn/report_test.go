@@ -1,0 +1,97 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestAtomicWriteSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	if err := atomicWrite(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"ok":true}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"ok":true}` {
+		t.Fatalf("content %q", data)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp residue left behind: %v", names)
+	}
+}
+
+// An interrupted write — the writer fails after emitting partial output —
+// must leave a pre-existing report untouched and no temp file behind.
+// This is the regression test for -report truncating its destination via
+// os.Create before the run had produced anything.
+func TestAtomicWriteInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	previous := `{"rounds":3,"converged":true}`
+	if err := os.WriteFile(path, []byte(previous), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("interrupted mid-write")
+	err := atomicWrite(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, `{"rounds":`); err != nil {
+			return err
+		}
+		return boom // the run died after partial output
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the write error", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != previous {
+		t.Fatalf("destination clobbered: %q", data)
+	}
+	if names := listDir(t, dir); len(names) != 1 || names[0] != "report.json" {
+		t.Fatalf("temp residue left behind: %v", names)
+	}
+}
+
+// A fresh path stays absent after a failed write: nothing half-written
+// can be mistaken for a report.
+func TestAtomicWriteFailureLeavesNoFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	err := atomicWrite(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("destination exists after failed write: %v", statErr)
+	}
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Fatalf("temp residue left behind: %v", names)
+	}
+}

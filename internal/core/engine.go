@@ -47,9 +47,18 @@ type Engine struct {
 	// mu guards built, the number of evaluators created so far.
 	mu    sync.Mutex
 	built int
-	// prewarmMu serializes Prewarm: two concurrent hold-the-whole-pool
-	// sweeps would deadlock each other.
+	// prewarmMu serializes Prewarm sweeps; overlapping sweeps would churn
+	// the pool without warming anything new.
 	prewarmMu sync.Mutex
+
+	// buildHook, when set, replaces newComputer for pool growth — a test
+	// seam for injecting construction failures (the acquire/release churn
+	// test) without reaching into the model.
+	buildHook func() (computer, error)
+	// prewarmHook, when set, runs after each Prewarm slot has been warmed
+	// and released — a test seam proving live traffic interleaves with
+	// the sweep.
+	prewarmHook func(slot int)
 }
 
 // NewEngine resolves the requested plan against the model (see
@@ -124,6 +133,25 @@ func buildEvaluator[T tensor.Float](m *Model, plan Plan) (computer, error) {
 	return ev, nil
 }
 
+// build grows the pool by one computer, through the test hook when set.
+// A failed build gives its slot back (built--) so the pool recovers: the
+// next acquire retries construction instead of serving a permanently
+// shrunken pool.
+func (e *Engine) build() (computer, error) {
+	newC := e.newComputer
+	if e.buildHook != nil {
+		newC = e.buildHook
+	}
+	c, err := newC()
+	if err != nil {
+		e.mu.Lock()
+		e.built--
+		e.mu.Unlock()
+		return nil, err
+	}
+	return c, nil
+}
+
 // acquire borrows an evaluator: a pooled idle one when available, a
 // freshly built one while under the concurrency bound, else it blocks
 // until a concurrent call releases one. The fast path is one channel
@@ -138,14 +166,7 @@ func (e *Engine) acquire() (computer, error) {
 	if e.built < e.plan.MaxConcurrency {
 		e.built++
 		e.mu.Unlock()
-		c, err := e.newComputer()
-		if err != nil {
-			e.mu.Lock()
-			e.built--
-			e.mu.Unlock()
-			return nil, err
-		}
-		return c, nil
+		return e.build()
 	}
 	e.mu.Unlock()
 	return <-e.free, nil
@@ -175,34 +196,52 @@ func (e *Engine) EvaluateInto(pos []float64, types []int, nloc int, list *neighb
 	return e.Compute(pos, types, nloc, list, box, out)
 }
 
-// Prewarm builds the engine's full evaluator pool and runs one
-// evaluation of the given system on each, so subsequent calls at any
-// concurrency level hit warm arenas and allocate nothing — the paper's
-// init-time memory-trunk strategy applied to the whole pool, and the
-// cold-start control a serving deployment runs before taking traffic.
+// Prewarm builds the engine's full evaluator pool and warms it with one
+// evaluation of the given system per pool slot, so subsequent calls at
+// any concurrency level hit warm arenas and allocate nothing — the
+// paper's init-time memory-trunk strategy applied to the whole pool, and
+// the cold-start control a serving deployment runs before taking traffic.
+//
+// Each slot is warmed acquire → compute → release, never holding more
+// than one evaluator, so live traffic interleaves with the sweep instead
+// of stalling on a fully held pool (the pre-ISSUE-7 behavior). Under
+// concurrent traffic a pool member may be warmed by a traffic call rather
+// than by the sweep itself; either way every member exists and has served
+// at least one evaluation by the time Prewarm returns. A mid-sweep build
+// failure returns its slot to the pool budget (see build), so a later
+// Prewarm or acquire retries construction rather than serving a
+// permanently partial pool.
 func (e *Engine) Prewarm(pos []float64, types []int, nloc int, list *neighbor.List, box *neighbor.Box) error {
-	// Serialized: two concurrent sweeps each holding part of the pool
-	// while waiting for the rest would deadlock. Regular traffic is fine
-	// to overlap — in-flight borrowers always release.
+	// Serialized so overlapping sweeps don't ping-pong the same members;
+	// regular traffic is free to interleave.
 	e.prewarmMu.Lock()
 	defer e.prewarmMu.Unlock()
-	held := make([]computer, 0, e.plan.MaxConcurrency)
-	defer func() {
-		for _, c := range held {
-			e.release(c)
-		}
-	}()
 	var out Result
 	for i := 0; i < e.plan.MaxConcurrency; i++ {
-		// Holding every acquired evaluator until the end forces the pool
-		// to build all MaxConcurrency of them exactly once.
-		c, err := e.acquire()
+		// Prefer building a not-yet-existing member; once the pool is
+		// full, FIFO rotation through the free list reaches every idle
+		// member across the remaining iterations.
+		e.mu.Lock()
+		var c computer
+		var err error
+		if e.built < e.plan.MaxConcurrency {
+			e.built++
+			e.mu.Unlock()
+			c, err = e.build()
+		} else {
+			e.mu.Unlock()
+			c, err = e.acquire()
+		}
 		if err != nil {
 			return err
 		}
-		held = append(held, c)
-		if err := c.Compute(pos, types, nloc, list, box, &out); err != nil {
+		err = c.Compute(pos, types, nloc, list, box, &out)
+		e.release(c)
+		if err != nil {
 			return err
+		}
+		if e.prewarmHook != nil {
+			e.prewarmHook(i)
 		}
 	}
 	return nil

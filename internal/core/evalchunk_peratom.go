@@ -19,7 +19,7 @@ import (
 // SetPerAtomDescriptors(true). Unlike the batched path it allocates its
 // small bookkeeping slices per chunk, as the per-call-allocation baseline
 // did.
-func (ev *Evaluator[T]) evalChunkPerAtom(ctr *perf.Counter, opts tensor.Opts, ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
+func (ev *Evaluator[T]) evalChunkPerAtom(ctr *perf.Counter, opts tensor.Opts, ar *tensor.Arena[T], env *descriptor.EnvOut, rT, ndT []T, ci int, atoms []int, atomEnergy []float64) float64 {
 	defer ar.Reset()
 	cfg := &ev.cfg
 	stride := cfg.Stride()
@@ -40,7 +40,7 @@ func (ev *Evaluator[T]) evalChunkPerAtom(ctr *perf.Counter, opts tensor.Opts, ar
 		for a, atom := range atoms {
 			base := (atom*stride + off) * 4
 			for k := 0; k < sel; k++ {
-				sIn.Data[a*sel+k] = ev.rT[base+k*4]
+				sIn.Data[a*sel+k] = rT[base+k*4]
 			}
 		}
 		traces[tj] = ev.embed[ci][tj].Forward(ctr, opts, ar, sIn, true)
@@ -57,7 +57,7 @@ func (ev *Evaluator[T]) evalChunkPerAtom(ctr *perf.Counter, opts tensor.Opts, ar
 			off := fmtd.SelOff[tj]
 			g := traces[tj].Out()
 			gA := tensor.MatrixFrom(sel, m, g.Data[a*sel*m:(a+1)*sel*m])
-			rA := tensor.MatrixFrom(sel, 4, ev.rT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
+			rA := tensor.MatrixFrom(sel, 4, rT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
 			tensor.GemmTN(ctr, invN, gA, rA, 1, ti)
 		}
 		tis[a] = ti
@@ -103,10 +103,10 @@ func (ev *Evaluator[T]) evalChunkPerAtom(ctr *perf.Counter, opts tensor.Opts, ar
 			off := fmtd.SelOff[tj]
 			g := traces[tj].Out()
 			gA := tensor.MatrixFrom(sel, m, g.Data[a*sel*m:(a+1)*sel*m])
-			rA := tensor.MatrixFrom(sel, 4, ev.rT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
+			rA := tensor.MatrixFrom(sel, 4, rT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
 			dgA := tensor.MatrixFrom(sel, m, dGsec[tj].Data[a*sel*m:(a+1)*sel*m])
 			tensor.GemmNT(ctr, invN, rA, dT, 0, dgA)
-			ndA := tensor.MatrixFrom(sel, 4, ev.ndT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
+			ndA := tensor.MatrixFrom(sel, 4, ndT[(atom*stride+off)*4:(atom*stride+off+sel)*4])
 			tensor.Gemm(ctr, invN, gA, dT, 1, ndA)
 		}
 	}
@@ -120,7 +120,7 @@ func (ev *Evaluator[T]) evalChunkPerAtom(ctr *perf.Counter, opts tensor.Opts, ar
 		for a, atom := range atoms {
 			base := (atom*stride + off) * 4
 			for k := 0; k < sel; k++ {
-				ev.ndT[base+k*4] += ds.Data[a*sel+k]
+				ndT[base+k*4] += ds.Data[a*sel+k]
 			}
 		}
 	}

@@ -78,6 +78,12 @@ type Evaluator[T tensor.Float] struct {
 	// GEMM kernels when the chunk loop runs serially (defaults to
 	// cfg.Workers; see Compute).
 	gemmWorkers int
+
+	// frames and batchJobs are the persistent state of ComputeBatch: one
+	// buffer slot per frame of the largest batch served so far, plus the
+	// flattened (frame, chunk) job list of the cross-frame sweep.
+	frames    []*frameState[T]
+	batchJobs []batchJob
 }
 
 // chunkJob is one same-type atom chunk of an evaluation.
@@ -241,7 +247,7 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 	if workers <= 1 {
 		opts := tensor.Opts{Workers: ev.gemmWorkers}
 		for ji, j := range ev.jobs {
-			ev.chunkE[ji] = ev.evalChunk(ctr, opts, ev.scratch[0], ev.arenas[0], env, j.ci, j.atoms, out.AtomEnergy)
+			ev.chunkE[ji] = ev.evalChunk(ctr, opts, ev.scratch[0], ev.arenas[0], env, ev.rT, ev.ndT, j.ci, j.atoms, out.AtomEnergy)
 		}
 	} else {
 		// Fewer chunks than budget: split the remainder as intra-GEMM
@@ -263,7 +269,7 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 						return
 					}
 					j := ev.jobs[ji]
-					ev.chunkE[ji] = ev.evalChunk(ctr, opts, ws, ar, env, j.ci, j.atoms, out.AtomEnergy)
+					ev.chunkE[ji] = ev.evalChunk(ctr, opts, ws, ar, env, ev.rT, ev.ndT, j.ci, j.atoms, out.AtomEnergy)
 				}
 			}(ev.scratch[w], ev.arenas[w])
 		}
@@ -291,14 +297,18 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 
 // evalChunk runs embedding, descriptor, fitting and their backward passes
 // for one chunk of same-type atoms, returning the chunk energy in double
-// precision and filling atomEnergy and ev.ndT rows for those atoms. opts
+// precision and filling atomEnergy and ndT rows for those atoms. opts
 // carries the GEMM worker budget (serial when chunk-level parallelism is
-// already using the cores).
-func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ws *evalScratch[T], ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
+// already using the cores). rT and ndT are the environment matrix and
+// network-derivative buffers of the frame the chunk belongs to: one
+// Compute call passes the evaluator's own, a ComputeBatch sweep passes
+// each frame's, so chunks of different frames can share one worker sweep
+// without sharing state.
+func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ws *evalScratch[T], ar *tensor.Arena[T], env *descriptor.EnvOut, rT, ndT []T, ci int, atoms []int, atomEnergy []float64) float64 {
 	if ev.strat == StrategyPerAtom {
-		return ev.evalChunkPerAtom(ctr, opts, ar, env, ci, atoms, atomEnergy)
+		return ev.evalChunkPerAtom(ctr, opts, ar, env, rT, ndT, ci, atoms, atomEnergy)
 	}
-	return ev.evalChunkBatched(ctr, opts, ws, ar, env, ci, atoms, atomEnergy)
+	return ev.evalChunkBatched(ctr, opts, ws, ar, env, rT, ndT, ci, atoms, atomEnergy)
 }
 
 // evalChunkBatched is the chunk-batched descriptor pipeline: one strided-
@@ -315,7 +325,7 @@ func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ws *evalS
 //	dT_a = dD_a T_a[:ax] (+ head += dD_a^T T_a)   GemmBatch + GemmBatchTN
 //	dG_a = R~ dT^T / N     sel x m         GemmBatchNT
 //	dR_a = G dT / N        sel x 4         GemmBatch, scattered into ndT
-func (ev *Evaluator[T]) evalChunkBatched(ctr *perf.Counter, opts tensor.Opts, ws *evalScratch[T], ar *tensor.Arena[T], env *descriptor.EnvOut, ci int, atoms []int, atomEnergy []float64) float64 {
+func (ev *Evaluator[T]) evalChunkBatched(ctr *perf.Counter, opts tensor.Opts, ws *evalScratch[T], ar *tensor.Arena[T], env *descriptor.EnvOut, rT, ndT []T, ci int, atoms []int, atomEnergy []float64) float64 {
 	defer ar.Reset()
 	cfg := &ev.cfg
 	stride := cfg.Stride()
@@ -340,9 +350,9 @@ func (ev *Evaluator[T]) evalChunkBatched(ctr *perf.Counter, opts tensor.Opts, ws
 		rSec := ar.TakeUninit(nA * sel * 4)
 		for a, atom := range atoms {
 			base := (atom*stride + off) * 4
-			copy(rSec[a*sel*4:(a+1)*sel*4], ev.rT[base:base+sel*4])
+			copy(rSec[a*sel*4:(a+1)*sel*4], rT[base:base+sel*4])
 			for k := 0; k < sel; k++ {
-				sIn.Data[a*sel+k] = ev.rT[base+k*4]
+				sIn.Data[a*sel+k] = rT[base+k*4]
 			}
 		}
 		ws.secR[tj] = rSec
@@ -432,7 +442,7 @@ func (ev *Evaluator[T]) evalChunkBatched(ctr *perf.Counter, opts tensor.Opts, ws
 		scatterStart := timeIf(ctr)
 		for a, atom := range atoms {
 			base := (atom*stride + off) * 4
-			nd := ev.ndT[base : base+sel*4]
+			nd := ndT[base : base+sel*4]
 			src := ndSec[a*sel*4 : (a+1)*sel*4]
 			for i, v := range src {
 				nd[i] += v

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadShape(t *testing.T) {
+	res, err := Load(Quick, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ladder {1, 2}, two legs each.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (pool+batch at c=1,2)", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Leg != "pool" && r.Leg != "batch" {
+			t.Fatalf("unexpected leg %q", r.Leg)
+		}
+		if r.PerOp <= 0 || r.P50 <= 0 || r.P95 <= 0 || r.P99 <= 0 || r.Speedup <= 0 {
+			t.Fatalf("non-positive measurement %+v", r)
+		}
+		if r.P50 > r.P95 || r.P95 > r.P99 {
+			t.Fatalf("percentiles not monotone: %+v", r)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "pool") || !strings.Contains(s, "p99") {
+		t.Fatal("load table missing a leg row or the percentile columns")
+	}
+	recs := res.Records()
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Experiment != "load" || rec.NsPerOp <= 0 || rec.P50Ns <= 0 || rec.P99Ns <= 0 {
+			t.Fatalf("bad record %+v", rec)
+		}
+		if !strings.Contains(rec.Shape, "-c") {
+			t.Fatalf("shape %q missing the concurrency suffix", rec.Shape)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{{0.50, 5}, {0.95, 10}, {0.99, 10}, {0.10, 1}} {
+		if got := percentile(lats, tc.p); got != tc.want {
+			t.Fatalf("p%g = %v, want %v", tc.p*100, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+}

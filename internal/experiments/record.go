@@ -16,6 +16,13 @@ type Record struct {
 	// Speedup is the ratio against the experiment's reference variant
 	// (1 for the reference itself; 0 when not applicable).
 	Speedup float64 `json:"speedup,omitempty"`
+	// P50Ns/P95Ns/P99Ns are per-request latency percentiles in
+	// nanoseconds, emitted by experiments that measure a latency
+	// distribution rather than a single per-op time (the `load`
+	// experiment); zero elsewhere.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P95Ns float64 `json:"p95_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
 // Recorder is implemented by experiment results that can report their

@@ -1,0 +1,72 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/refpot"
+)
+
+// A stretched LJ dimer relaxes to the analytic minimum r = 2^(1/6) sigma.
+func TestRelaxLJDimer(t *testing.T) {
+	const eps, sigma, rcut = 0.2, 2.6, 6.0
+	pot := refpot.NewLennardJones(eps, sigma, rcut)
+	req := 2 * (rcut + 0.5) // minimum-image requirement
+	sys := &System{
+		Pos:        []float64{7, 7, 7, 7 + 3.4, 7, 7}, // stretched past the minimum
+		Types:      []int{0, 0},
+		MassByType: []float64{10},
+		Box:        neighbor.Box{L: [3]float64{req, req, req}},
+		Vel:        make([]float64, 6),
+	}
+	spec := neighbor.Spec{Rcut: rcut, Skin: 0.5, Sel: []int{4}}
+	res, err := Relax(sys, pot, RelaxOptions{Spec: spec, MaxSteps: 500, Ftol: 1e-4, StepMax: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged after %d steps: fmax %g", res.Steps, res.Fmax)
+	}
+	var d float64
+	for a := 0; a < 3; a++ {
+		dd := sys.Pos[3+a] - sys.Pos[a]
+		d += dd * dd
+	}
+	d = math.Sqrt(d)
+	want := math.Pow(2, 1.0/6) * sigma
+	if math.Abs(d-want) > 1e-2 {
+		t.Fatalf("relaxed separation %.4f, want %.4f", d, want)
+	}
+	if res.Fmax > 1e-4 {
+		t.Fatalf("fmax %g above ftol", res.Fmax)
+	}
+}
+
+// Defaults resolve and the run is deterministic.
+func TestRelaxDeterministic(t *testing.T) {
+	const eps, sigma, rcut = 0.2, 2.6, 6.0
+	build := func() *System {
+		req := 2 * (rcut + 0.5)
+		return &System{
+			Pos:        []float64{6, 6, 6, 6 + 3.1, 6.2, 5.9},
+			Types:      []int{0, 0},
+			MassByType: []float64{10},
+			Box:        neighbor.Box{L: [3]float64{req, req, req}},
+			Vel:        make([]float64, 6),
+		}
+	}
+	spec := neighbor.Spec{Rcut: rcut, Skin: 0.5, Sel: []int{4}}
+	pot := refpot.NewLennardJones(eps, sigma, rcut)
+	a, err := Relax(build(), pot, RelaxOptions{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Relax(build(), pot, RelaxOptions{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Energy != b.Energy || a.Fmax != b.Fmax {
+		t.Fatalf("non-deterministic relaxation: %+v vs %+v", a, b)
+	}
+}

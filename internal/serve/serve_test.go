@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/lattice"
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/units"
+)
+
+// stubEval is a controllable BatchEvaluator: it can block mid-dispatch
+// (gating on release) and records every batch it saw, so the queueing
+// semantics are pinned deterministically, without evaluation cost.
+type stubEval struct {
+	mu      sync.Mutex
+	batches []int         // frame count per dispatch
+	served  int           // total frames evaluated
+	started chan struct{} // signaled when a dispatch begins (if non-nil)
+	release chan struct{} // dispatch blocks until a receive (if non-nil)
+}
+
+func (s *stubEval) ComputeBatch(frames []core.Frame) error {
+	if s.started != nil {
+		s.started <- struct{}{}
+	}
+	if s.release != nil {
+		<-s.release
+	}
+	s.mu.Lock()
+	s.batches = append(s.batches, len(frames))
+	s.served += len(frames)
+	s.mu.Unlock()
+	for i := range frames {
+		frames[i].Out.Energy = float64(frames[i].Nloc)
+	}
+	return nil
+}
+
+func (s *stubEval) snapshot() ([]int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.batches...), s.served
+}
+
+// waterEngine builds a small real engine plus a few distinct water
+// configurations for the bit-identity sweep.
+func waterEngine(t *testing.T, maxConc int) (*core.Engine, []core.Frame, []core.Result) {
+	t.Helper()
+	cfg := core.TinyConfig(2)
+	cfg.TypeNames = []string{"O", "H"}
+	cfg.Masses = []float64{units.MassO, units.MassH}
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+	cfg.Sel = []int{12, 24}
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(m, core.Plan{Workers: 1, MaxConcurrency: maxConc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames []core.Frame
+	var refs []core.Result
+	for _, seed := range []int64{3, 5, 7, 9} {
+		cell := lattice.Water(4, 4, 4, lattice.WaterSpacing, seed)
+		spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
+		list, err := neighbor.Build(spec, cell.Pos, cell.Types, cell.N(), &cell.Box, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, core.Frame{Pos: cell.Pos, Types: cell.Types, Nloc: cell.N(), List: list, Box: &cell.Box})
+		var ref core.Result
+		if err := eng.EvaluateInto(cell.Pos, cell.Types, cell.N(), list, &cell.Box, &ref); err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	return eng, frames, refs
+}
+
+// TestBatcherBitIdenticalAcrossCoalesceSizes is the acceptance contract
+// of ISSUE 7: concurrent callers answered through the micro-batcher get
+// results bit-identical to serial per-request evaluation at every
+// coalesce window and batch cap — the same cross-check experiments.Serve
+// runs for the pool.
+func TestBatcherBitIdenticalAcrossCoalesceSizes(t *testing.T) {
+	eng, sysFrames, refs := waterEngine(t, 2)
+	for _, opt := range []Options{
+		{Window: -1, MaxBatch: 1, QueueLimit: 64},                     // pool-only: no coalescing
+		{Window: -1, MaxBatch: 4, QueueLimit: 64},                     // opportunistic only
+		{Window: 200 * time.Microsecond, MaxBatch: 2, QueueLimit: 64}, // tiny window, small cap
+		{Window: 2 * time.Millisecond, MaxBatch: 8, QueueLimit: 64},   // the defaults
+	} {
+		name := fmt.Sprintf("window=%s/max=%d", opt.Window, opt.MaxBatch)
+		t.Run(name, func(t *testing.T) {
+			b := New(eng, opt)
+			defer b.Close(context.Background())
+			const callers, evals = 8, 3
+			errs := make([]error, callers)
+			var wg sync.WaitGroup
+			for g := 0; g < callers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					f := sysFrames[g%len(sysFrames)]
+					want := refs[g%len(sysFrames)]
+					var out core.Result
+					for k := 0; k < evals; k++ {
+						if err := b.Evaluate(context.Background(), f.Pos, f.Types, f.Nloc, f.List, f.Box, &out); err != nil {
+							errs[g] = err
+							return
+						}
+						if out.Energy != want.Energy {
+							errs[g] = fmt.Errorf("energy %.17g != serial %.17g", out.Energy, want.Energy)
+							return
+						}
+						for i := range want.Force {
+							if math.Float64bits(out.Force[i]) != math.Float64bits(want.Force[i]) {
+								errs[g] = fmt.Errorf("force[%d] differs from serial", i)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			for g, err := range errs {
+				if err != nil {
+					t.Fatalf("caller %d: %v", g, err)
+				}
+			}
+			st := b.Stats()
+			if st.Completed != callers*evals {
+				t.Fatalf("completed %d, want %d", st.Completed, callers*evals)
+			}
+		})
+	}
+}
+
+// Requests that queue while a dispatch is in flight coalesce into the
+// next batch — deterministically pinned with a gated stub.
+func TestBatcherCoalescesQueuedRequests(t *testing.T) {
+	stub := &stubEval{started: make(chan struct{}, 16), release: make(chan struct{})}
+	// Opportunistic mode (no wait) keeps the test deterministic: everything
+	// queued when the dispatcher frees up joins the next batch immediately.
+	b := New(stub, Options{Window: -1, MaxBatch: 8, QueueLimit: 16, Dispatchers: 1})
+	defer b.Close(context.Background())
+
+	var wg sync.WaitGroup
+	evaluate := func() {
+		defer wg.Done()
+		var out core.Result
+		if err := b.Evaluate(context.Background(), nil, nil, 1, nil, nil, &out); err != nil {
+			t.Errorf("evaluate: %v", err)
+		}
+	}
+	// First request reaches the dispatcher and blocks inside the stub.
+	wg.Add(1)
+	go evaluate()
+	<-stub.started
+	// Five more queue behind it while it computes.
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go evaluate()
+	}
+	waitQueueDepth(t, b, 5)
+	stub.release <- struct{}{} // finish batch 1 (single frame)
+	<-stub.started             // batch 2 begins: must carry all five
+	stub.release <- struct{}{}
+	wg.Wait()
+
+	batches, served := stub.snapshot()
+	if served != 6 {
+		t.Fatalf("served %d frames, want 6", served)
+	}
+	if len(batches) != 2 || batches[0] != 1 || batches[1] != 5 {
+		t.Fatalf("batch sizes %v, want [1 5]: queued requests did not coalesce", batches)
+	}
+	if st := b.Stats(); st.MaxBatch != 5 || st.Batches != 2 {
+		t.Fatalf("stats %+v, want MaxBatch 5 over 2 batches", st)
+	}
+}
+
+// A full queue rejects immediately with ErrQueueFull — explicit
+// backpressure, not unbounded latency.
+func TestBatcherBackpressure(t *testing.T) {
+	stub := &stubEval{started: make(chan struct{}, 16), release: make(chan struct{})}
+	b := New(stub, Options{Window: -1, MaxBatch: 1, QueueLimit: 2, Dispatchers: 1})
+	defer b.Close(context.Background())
+
+	var wg sync.WaitGroup
+	evaluate := func() {
+		defer wg.Done()
+		var out core.Result
+		if err := b.Evaluate(context.Background(), nil, nil, 1, nil, nil, &out); err != nil {
+			t.Errorf("evaluate: %v", err)
+		}
+	}
+	wg.Add(1)
+	go evaluate()
+	<-stub.started // dispatcher busy; queue empty
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go evaluate()
+	}
+	waitQueueDepth(t, b, 2) // queue now at its limit
+
+	var out core.Result
+	if err := b.Evaluate(context.Background(), nil, nil, 1, nil, nil, &out); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+	if st := b.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected %d, want 1", st.Rejected)
+	}
+
+	// Drain: the accepted requests all complete.
+	for i := 0; i < 3; i++ {
+		stub.release <- struct{}{}
+		if i < 2 {
+			<-stub.started
+		}
+	}
+	wg.Wait()
+	if _, served := stub.snapshot(); served != 3 {
+		t.Fatalf("served %d, want 3", served)
+	}
+}
+
+// A request whose deadline expires while queued is abandoned: the caller
+// gets the context error and the frame is dropped before evaluation.
+func TestBatcherDeadlineWhileQueued(t *testing.T) {
+	stub := &stubEval{started: make(chan struct{}, 16), release: make(chan struct{})}
+	b := New(stub, Options{Window: -1, MaxBatch: 4, QueueLimit: 8, Dispatchers: 1})
+	defer b.Close(context.Background())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var out core.Result
+		if err := b.Evaluate(context.Background(), nil, nil, 1, nil, nil, &out); err != nil {
+			t.Errorf("head evaluate: %v", err)
+		}
+	}()
+	<-stub.started // dispatcher busy
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	var out core.Result
+	err := b.Evaluate(ctx, nil, nil, 99, nil, nil, &out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued-past-deadline err = %v, want DeadlineExceeded", err)
+	}
+
+	stub.release <- struct{}{} // head batch finishes
+	// The abandoned frame must not be evaluated: if the dispatcher picked
+	// it up anyway, a second dispatch would start.
+	select {
+	case <-stub.started:
+		stub.release <- struct{}{}
+		t.Fatal("abandoned request was dispatched")
+	case <-time.After(50 * time.Millisecond):
+	}
+	wg.Wait()
+	if _, served := stub.snapshot(); served != 1 {
+		t.Fatalf("served %d frames, want 1 (abandoned frame dropped)", served)
+	}
+	if st := b.Stats(); st.Expired != 1 {
+		t.Fatalf("expired %d, want 1", st.Expired)
+	}
+}
+
+// Close drains queued work, then refuses new requests with ErrClosed.
+func TestBatcherCloseDrains(t *testing.T) {
+	stub := &stubEval{}
+	b := New(stub, Options{Window: -1, MaxBatch: 2, QueueLimit: 8, Dispatchers: 1})
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out core.Result
+			errs[i] = b.Evaluate(context.Background(), nil, nil, i, nil, nil, &out)
+		}(i)
+	}
+	// Let the requests enqueue, then drain.
+	waitFor(t, func() bool { return b.Stats().Accepted+b.Stats().Rejected == n })
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if _, served := stub.snapshot(); served != n {
+		t.Fatalf("served %d, want %d", served, n)
+	}
+	var out core.Result
+	if err := b.Evaluate(context.Background(), nil, nil, 1, nil, nil, &out); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close err = %v, want ErrClosed", err)
+	}
+	// Idempotent.
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The batcher satisfies the potential seam (md.Potential's method set), so
+// relaxations and trajectories can route their force calls through it.
+func TestBatcherComputeSeam(t *testing.T) {
+	stub := &stubEval{}
+	b := New(stub, Options{Window: -1})
+	defer b.Close(context.Background())
+	var out core.Result
+	if err := b.Compute(nil, nil, 42, nil, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Energy != 42 {
+		t.Fatalf("stub energy %g, want 42", out.Energy)
+	}
+}
+
+// waitQueueDepth polls until the queue holds exactly n requests.
+func waitQueueDepth(t *testing.T, b *Batcher, n int) {
+	t.Helper()
+	waitFor(t, func() bool { return b.Stats().QueueDepth == n })
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
