@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"deepmd-go/internal/experiments"
+	"deepmd-go/internal/tensor"
 )
 
 func main() {
@@ -49,6 +50,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	// The dispatch banner is diagnostics, never data: stderr in both
+	// modes, so measurements stay attributable without polluting -json.
+	fmt.Fprintf(stderr, "dpbench: %s\n", tensor.KernelInfo())
 
 	sc := experiments.Quick
 	if *full {

@@ -29,6 +29,7 @@ import (
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/md"
 	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/tensor"
 	"deepmd-go/internal/units"
 
 	deepmd "deepmd-go"
@@ -53,6 +54,8 @@ func main() {
 	compressed := flag.Bool("compress", false, "deprecated alias for -strategy compressed (tabulates the embedding nets if the model carries no tables)")
 	eng := cliopt.Bind(flag.CommandLine, runtime.NumCPU())
 	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "dpmd: %s\n", tensor.KernelInfo())
 
 	// Fold the pre-Engine boolean aliases into the shared strategy flag.
 	for _, alias := range []struct {

@@ -259,20 +259,26 @@ func extrapolate[T tensor.Float](g, dg []T, delta T) {
 // which avoids the four coefficient-scaling multiplies a separate
 // derivative Horner would spend per channel. At u = 0 the value reduces
 // to the stored knot sample bitwise and the derivative to c1·invH, the
-// knot-exactness the Hermite construction promises.
+// knot-exactness the Hermite construction promises. The leading lane
+// multiple of channels goes through the vectorized kernel (hornerCover,
+// bit-identical to the scalar recursion); the remainder runs here.
 func (tb *Table[T]) evalSeg(seg int, u T, g, dg []T) {
 	m := tb.M
 	cs := tb.Coef[seg*coefPerSeg*m : (seg+1)*coefPerSeg*m]
+	invH := tb.invH
+	c := hornerCover(cs, u, invH, g, dg, m)
+	if c == m {
+		return
+	}
 	c0 := cs[0*m : 1*m]
 	c1 := cs[1*m : 2*m]
 	c2 := cs[2*m : 3*m]
 	c3 := cs[3*m : 4*m]
 	c4 := cs[4*m : 5*m]
 	c5 := cs[5*m : 6*m]
-	invH := tb.invH
 	_ = g[m-1]
 	_ = dg[m-1]
-	for c := 0; c < m; c++ {
+	for ; c < m; c++ {
 		p := c5[c]
 		d := p
 		p = p*u + c4[c]

@@ -1,0 +1,64 @@
+//go:build amd64 && !purego
+
+package compress
+
+import (
+	"unsafe"
+
+	"deepmd-go/internal/tensor"
+	"deepmd-go/internal/tensor/cpufeat"
+)
+
+// hornerArgs is the argument block of the vectorized Horner kernels. The
+// field offsets are hard-coded in horner_amd64.s (HA_* defines) and
+// asserted by TestHornerArgsLayout. u and invH are always float64; the
+// f32 kernel narrows them once per call, which reproduces the float32
+// values of the scalar path exactly (float64(float32) round-trips).
+type hornerArgs struct {
+	cs   unsafe.Pointer // segment slab base: six m-element slabs c0..c5
+	g    unsafe.Pointer // value row (m elements)
+	dg   unsafe.Pointer // derivative row (m elements)
+	m    uintptr        // channel count = slab stride; asm covers m &^ (lanes-1)
+	u    float64
+	invH float64
+}
+
+// hornerCover runs the vectorized Horner sweep over the leading channels
+// of one segment row and returns how many channels it covered (a multiple
+// of the lane width, possibly 0). The caller finishes the remainder with
+// the scalar recursion. The kernels use plain mul/add — the same two
+// roundings per step as the scalar code — so covered lanes are
+// bit-identical to the scalar path for every input, u = 0 knot exactness
+// included. AVX2-encoded; AVX-512 hosts run the same kernel (cpufeat
+// gates AVX512 on AVX2).
+func hornerCover[T tensor.Float](cs []T, u, invH T, g, dg []T, m int) int {
+	fam := cpufeat.Active()
+	if fam != cpufeat.AVX2 && fam != cpufeat.AVX512 {
+		return 0
+	}
+	var z T
+	lanes := 4
+	if unsafe.Sizeof(z) == 4 {
+		lanes = 8
+	}
+	cover := m &^ (lanes - 1)
+	if cover == 0 {
+		return 0
+	}
+	args := hornerArgs{
+		cs: unsafe.Pointer(&cs[0]), g: unsafe.Pointer(&g[0]), dg: unsafe.Pointer(&dg[0]),
+		m: uintptr(m), u: float64(u), invH: float64(invH),
+	}
+	if unsafe.Sizeof(z) == 8 {
+		hornerRowF64AVX2(&args)
+	} else {
+		hornerRowF32AVX2(&args)
+	}
+	return cover
+}
+
+//go:noescape
+func hornerRowF64AVX2(args *hornerArgs)
+
+//go:noescape
+func hornerRowF32AVX2(args *hornerArgs)

@@ -23,6 +23,10 @@ type Record struct {
 	P50Ns float64 `json:"p50_ns,omitempty"`
 	P95Ns float64 `json:"p95_ns,omitempty"`
 	P99Ns float64 `json:"p99_ns,omitempty"`
+	// Kernel attributes the measurement to the SIMD kernel family that
+	// executed it ("avx512", "avx2", "neon", "generic", "naive"); empty
+	// for experiments that don't dispatch through the kernel tables.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // Recorder is implemented by experiment results that can report their

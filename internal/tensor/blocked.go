@@ -242,12 +242,12 @@ func packBPanel[T Float](dst []T, b []T, j0, jb, p0, kb, brp, brj int) {
 // accumulators are independent chains, giving the instruction-level
 // parallelism the naive loops lack; loading the highest index of each
 // strip first lets the compiler elide the remaining bounds checks. The
-// float64 instantiation routes through microKernel64, which is the
-// math.FMA variant on targets where fused multiply-add is unconditionally
-// lowered to one hardware instruction (GOAMD64=v3, arm64) and this
-// portable mul-add kernel everywhere else — under the default GOAMD64=v1
-// every math.FMA carries a per-op feature-check branch that runs slower
-// than separate multiply and add (measured, see DESIGN.md).
+// float64 instantiation routes through microKernel64, which dispatches at
+// runtime to a fused-multiply-add variant where the hardware has one (the
+// micro2x4FMA assembly tile on amd64 with FMA, math.FMA on arm64 where
+// FMADD is baseline) and to this portable mul-add kernel everywhere else —
+// a math.FMA that carries a per-op feature-check branch runs slower than
+// separate multiply and add (measured, see DESIGN.md).
 func microKernel[T Float](kb int, ap, bp []T) [mr * nr]T {
 	if a64, ok := any(ap).([]float64); ok {
 		r := microKernel64(kb, a64, any(bp).([]float64))

@@ -1,15 +1,16 @@
-//go:build amd64.v3 || arm64
+//go:build arm64 && !purego
 
 package tensor
 
 import "math"
 
-// microKernel64 is the float64 microkernel on math.FMA. On these targets
-// (GOAMD64=v3 guarantees the FMA extension; FMADD is baseline ARMv8) the
-// compiler lowers each call to a single fused multiply-add instruction,
-// doubling the scalar FP throughput of the mul-add kernel — and the fused
-// rounding is never less accurate than separate multiply and add, so the
-// differential-test tolerance is unchanged.
+// microKernel64 is the float64 microkernel on math.FMA. FMADD is baseline
+// ARMv8, so the compiler lowers each call to a single fused multiply-add
+// instruction, doubling the scalar FP throughput of the mul-add kernel —
+// and the fused rounding is never less accurate than separate multiply
+// and add, so the differential-test tolerance is unchanged. (On amd64 the
+// equivalent kernel is the micro2x4FMA assembly tile, selected at runtime
+// in blocked_micro_amd64.go.)
 func microKernel64(kb int, ap, bp []float64) [mr * nr]float64 {
 	var c00, c01, c02, c03 float64
 	var c10, c11, c12, c13 float64

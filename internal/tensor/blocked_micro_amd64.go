@@ -1,0 +1,26 @@
+//go:build amd64 && !purego
+
+package tensor
+
+import "deepmd-go/internal/tensor/cpufeat"
+
+// useFMAMicro reports at init whether the host can run the AVX2+FMA
+// packed microkernel. The per-call Active() check lets DEEPMD_KERNEL or
+// SetActive(Generic) force the portable mul-add kernel at runtime — the
+// old GOAMD64=v3 build-tag split, replaced by runtime dispatch so one
+// default binary gets fused arithmetic wherever the CPU has it.
+var useFMAMicro = cpufeat.Available(cpufeat.AVX2)
+
+// microKernel64 is the float64 packed microkernel: the micro2x4FMA
+// assembly tile when FMA hardware is present and a SIMD family is active
+// (bit-identical to the math.FMA kernel the GOAMD64=v3 build used: the
+// same eight fused chains in the same order), the portable mul-add kernel
+// otherwise.
+func microKernel64(kb int, ap, bp []float64) [mr * nr]float64 {
+	if useFMAMicro && cpufeat.Active() != cpufeat.Generic {
+		var acc [mr * nr]float64
+		micro2x4FMA(kb, &ap[0], &bp[0], &acc)
+		return acc
+	}
+	return microKernelMulAdd(kb, ap, bp)
+}

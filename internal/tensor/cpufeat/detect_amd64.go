@@ -1,0 +1,36 @@
+//go:build amd64 && !purego
+
+package cpufeat
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+func cpuid(eaxArg, ecxArg uint32) (a, b, c, d uint32)
+
+// xgetbv reads extended control register 0 (requires OSXSAVE).
+func xgetbv() (lo, hi uint32)
+
+func detect() Features {
+	var f Features
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return f
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	f.FMA = c1&(1<<12) != 0
+	osxsave := c1&(1<<27) != 0
+	avx := c1&(1<<28) != 0
+	var xcr0 uint32
+	if osxsave {
+		xcr0, _ = xgetbv()
+	}
+	// XCR0: bit1 SSE, bit2 AVX (ymm), bits 5-7 opmask/zmm_hi256/hi16_zmm.
+	f.OSAVX = osxsave && xcr0&0x6 == 0x6
+	f.OSAVX512 = f.OSAVX && xcr0&0xe0 == 0xe0
+	if maxID >= 7 {
+		_, b7, _, _ := cpuid(7, 0)
+		f.AVX2 = avx && b7&(1<<5) != 0
+		f.AVX512F = b7&(1<<16) != 0
+		f.AVX512DQ = b7&(1<<17) != 0
+		f.AVX512VL = b7&(1<<31) != 0
+	}
+	return f
+}

@@ -1,0 +1,8 @@
+//go:build arm64 && !purego
+
+package cpufeat
+
+func detect() Features {
+	// Advanced SIMD (NEON) is baseline ARMv8; Go itself requires it.
+	return Features{NEON: true}
+}

@@ -36,9 +36,14 @@ func GemmBiasOpt[T Float](o Opts, ctr *perf.Counter, a, b Matrix[T], bias []T, c
 	}
 	start := time.Now()
 	m, k, n := a.Rows, a.Cols, b.Cols
-	if o.Kernel == Naive || !blockedWorthIt(m, k, n) {
+	switch {
+	case o.Kernel == Naive:
 		gemmBiasNaive(a, b, bias, c)
-	} else {
+	case gemmSIMD(o.Workers, m, k, n, 1, a.Data, k, b.Data, n, 0, c.Data, n, bias, epiBias, nil, 0):
+		// bias seeded into the accumulators: one fused pass over C
+	case !blockedWorthIt(m, k, n):
+		gemmBiasNaive(a, b, bias, c)
+	default:
 		for i := 0; i < m; i++ {
 			copy(c.Data[i*n:i*n+n], bias)
 		}
@@ -76,12 +81,36 @@ func GemmBiasTanhGrad[T Float](ctr *perf.Counter, a, b Matrix[T], bias []T, y, g
 // kernel/parallelism selection; the elementwise tanh pass is partitioned
 // over the same workers as the GEMM when large enough.
 func GemmBiasTanhGradOpt[T Float](o Opts, ctr *perf.Counter, a, b Matrix[T], bias []T, y, grad Matrix[T]) {
-	GemmBiasOpt(o, ctr, a, b, bias, y)
-	start := time.Now()
 	wantGrad := grad.Rows > 0
 	if wantGrad && (grad.Rows != y.Rows || grad.Cols != y.Cols) {
 		panic("tensor: GemmBiasTanhGrad gradient dimension mismatch")
 	}
+	// Fully fused path: the SIMD kernels apply bias, tanh and the gradient
+	// inside the store loop, so the whole operator is one pass over y (and
+	// grad). The wall time lands on CatGEMM; the tanh FLOPs are recorded
+	// under CatTANH with zero duration so per-category FLOP totals stay
+	// comparable with the two-pass accounting.
+	if o.Kernel != Naive && a.Cols == b.Rows && a.Rows == y.Rows && b.Cols == y.Cols && len(bias) == y.Cols {
+		m, k, n := a.Rows, a.Cols, b.Cols
+		mode := epiTanh
+		var g []T
+		ldg := 0
+		if wantGrad {
+			mode, g, ldg = epiTanhGrad, grad.Data, n
+		}
+		start := time.Now()
+		if gemmSIMD(o.Workers, m, k, n, 1, a.Data, k, b.Data, n, 0, y.Data, n, bias, mode, g, ldg) {
+			ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k)+int64(m)*int64(n))
+			flops := tanhFLOPs * int64(len(y.Data))
+			if wantGrad {
+				flops += 2 * int64(len(y.Data))
+			}
+			ctr.Observe(perf.CatTANH, time.Now(), flops)
+			return
+		}
+	}
+	GemmBiasOpt(o, ctr, a, b, bias, y)
+	start := time.Now()
 	// The serial path must not touch the goroutine branch's closure: a
 	// shared func literal would escape to the heap on every call and break
 	// the allocation-free steady state.

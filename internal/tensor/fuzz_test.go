@@ -3,13 +3,16 @@ package tensor
 import (
 	"math"
 	"testing"
+
+	"deepmd-go/internal/tensor/cpufeat"
 )
 
 // FuzzGemm is the differential fuzz harness for the whole GEMM family: the
-// fuzzer drives shape, alpha/beta, variant, precision and worker count, and
-// every case is checked against the naive reference / float64 recomputation
-// under the tolerance policy of differential_test.go (plus bit-identity
-// across worker counts). CI runs it for 30 s on every PR:
+// fuzzer drives shape, alpha/beta, variant, precision and the forced SIMD
+// kernel family, and every case is checked against the naive reference /
+// float64 recomputation under the tolerance policy of differential_test.go
+// (plus bit-identity across worker counts). CI runs it for 30 s on every
+// PR:
 //
 //	go test -fuzz=FuzzGemm -fuzztime=30s ./internal/tensor/
 func FuzzGemm(f *testing.F) {
@@ -19,7 +22,7 @@ func FuzzGemm(f *testing.F) {
 	f.Add(int64(4), uint8(130), uint8(240), uint8(17), -1.0, 0.3, uint8(3), uint8(3), true)
 	f.Add(int64(5), uint8(64), uint8(50), uint8(100), 1.0, 1.0, uint8(4), uint8(5), false)
 	f.Add(int64(6), uint8(255), uint8(255), uint8(255), 0.5, 1.0, uint8(0), uint8(7), true)
-	f.Fuzz(func(t *testing.T, seed int64, um, uk, un uint8, alpha, beta float64, variant, workers uint8, single bool) {
+	f.Fuzz(func(t *testing.T, seed int64, um, uk, un uint8, alpha, beta float64, variant, famSel uint8, single bool) {
 		m, k, n := int(um), int(uk), int(un)
 		v := int(variant) % numVariants
 		// Saturated scale factors only probe overflow, not kernel logic;
@@ -30,9 +33,16 @@ func FuzzGemm(f *testing.F) {
 		if math.IsNaN(beta) || math.IsInf(beta, 0) || math.Abs(beta) > 8 {
 			beta = 0
 		}
-		// The worker sweep in runGemmVariantCase already runs 1/2/7; the
-		// fuzz input shifts which count anchors the bit-identity check.
-		_ = workers
+		// Force one of the executable kernel families (Generic included) so
+		// the fuzzer exercises every compiled code path, not just the
+		// host's best. The worker sweep in runGemmVariantCase runs 1/2/7
+		// with the bit-identity contract under whichever family is active.
+		fams := simdTestFamilies()
+		prev := cpufeat.Active()
+		if _, err := cpufeat.SetActive(fams[int(famSel)%len(fams)]); err != nil {
+			t.Fatal(err)
+		}
+		defer cpufeat.SetActive(prev)
 		if single {
 			runGemmVariantCase[float32](t, v, m, k, n, alpha, beta, seed)
 		} else {

@@ -44,9 +44,14 @@ func GemmOpt[T Float](o Opts, ctr *perf.Counter, alpha T, a, b Matrix[T], beta T
 	}
 	start := time.Now()
 	m, k, n := a.Rows, a.Cols, b.Cols
-	if o.Kernel == Naive || !blockedWorthIt(m, k, n) {
+	switch {
+	case o.Kernel == Naive:
 		gemmNaive(alpha, a, b, beta, c)
-	} else {
+	case gemmSIMD(o.Workers, m, k, n, alpha, a.Data, k, b.Data, n, beta, c.Data, n, nil, epiNone, nil, 0):
+		// handled by the tall-skinny SIMD kernels
+	case !blockedWorthIt(m, k, n):
+		gemmNaive(alpha, a, b, beta, c)
+	default:
 		gemmBlocked(o.Workers, m, n, k, alpha, a.Data, k, 1, b.Data, n, 1, beta, c.Data, n)
 	}
 	ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k))
@@ -65,9 +70,14 @@ func GemmNTOpt[T Float](o Opts, ctr *perf.Counter, alpha T, a, b Matrix[T], beta
 	}
 	start := time.Now()
 	m, k, n := a.Rows, a.Cols, b.Rows
-	if o.Kernel == Naive || !blockedWorthIt(m, k, n) {
+	switch {
+	case o.Kernel == Naive:
 		gemmNTNaive(alpha, a, b, beta, c)
-	} else {
+	case gemmNTSIMD(o.Workers, m, k, n, alpha, a.Data, k, b.Data, k, beta, c.Data, n):
+		// handled by the SIMD dot tile
+	case !blockedWorthIt(m, k, n):
+		gemmNTNaive(alpha, a, b, beta, c)
+	default:
 		gemmBlocked(o.Workers, m, n, k, alpha, a.Data, k, 1, b.Data, 1, k, beta, c.Data, n)
 	}
 	ctr.Observe(perf.CatGEMM, start, 2*int64(m)*int64(n)*int64(k))

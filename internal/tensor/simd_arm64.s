@@ -1,0 +1,385 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON tall-skinny GEMM tiles. Both kernels take the same *tileArgs block
+// as the amd64 families (offsets asserted by TestTileArgsLayout) and
+// implement modes epiNone (0) and epiBias (1) only — simd_arm64.go
+// reports fusedTanh = false so the driver never passes modes 2/3.
+//
+// Arithmetic contract (must stay bit-identical to simdScalarRow64):
+//
+//   - Accumulation is FMLA, one rounding per multiply-add — the same as
+//     math.FMA.
+//   - NEON has no vector FMUL/FADD mnemonic in the Go assembler, so the
+//     epilogue t = alpha*acc is computed as FMLA into a register seeded
+//     with -0.0: fma(acc, alpha, -0.0) rounds exactly like the plain
+//     product, including the sign of zero results (a +0.0 seed would
+//     turn -0.0 products into +0.0). The beta merge then FMLAs beta*C on
+//     top, matching math.FMA(beta, c, t).
+//   - beta == 0 is tested with FCMPD against immediate zero: -0.0
+//     compares equal (skip the C load, exactly like the Go model's
+//     beta == 0), NaN compares unordered-not-equal (take the merge path,
+//     so NaN beta poisons C as the model requires).
+
+#define TA_A 0
+#define TA_B 8
+#define TA_C 16
+#define TA_BIAS 24
+#define TA_GRAD 32
+#define TA_LDA 40
+#define TA_LDB 48
+#define TA_LDC 56
+#define TA_LDG 64
+#define TA_K 72
+#define TA_N 80
+#define TA_ALPHA 88
+#define TA_BETA 96
+#define TA_MODE 104
+
+// func tsTileF64NEON(args *tileArgs)
+//
+// 4-row x 4-column strip. Register plan:
+//   R0  args            R12-R15 A row cursors (advance 8 per k)
+//   R1  A strip base    R16     B cursor (advances ldb*8 per k)
+//   R2  B column base   R17     C/bias row cursor in the epilogue
+//   R3  C column base   R19     bias column base
+//   R5  lda*8  R6 ldb*8  R7 ldc*8  R8 k counter  R9 columns left  R10 mode
+//   V0-V7  accumulators (row r in V(2r), V(2r+1))
+//   V8,V9  B row chunk   V10 A broadcast
+//   V12 alpha lanes  V13 beta lanes  V14 -0.0 lanes  V15-V18 epilogue temps
+TEXT ·tsTileF64NEON(SB), NOSPLIT, $0-8
+	MOVD args+0(FP), R0
+	MOVD TA_A(R0), R1
+	MOVD TA_B(R0), R2
+	MOVD TA_C(R0), R3
+	MOVD TA_BIAS(R0), R19
+	MOVD TA_LDA(R0), R5
+	LSL  $3, R5
+	MOVD TA_LDB(R0), R6
+	LSL  $3, R6
+	MOVD TA_LDC(R0), R7
+	LSL  $3, R7
+	MOVD TA_N(R0), R9
+	MOVD TA_MODE(R0), R10
+
+	FMOVD TA_ALPHA(R0), F12
+	VDUP  V12.D[0], V12.D2
+	FMOVD TA_BETA(R0), F13
+	VDUP  V13.D[0], V13.D2
+	MOVD  $0x8000000000000000, R11
+	VDUP  R11, V14.D2
+
+f64jloop:
+	// Reset the A row cursors for this column group; B restarts at row 0.
+	MOVD R1, R12
+	ADD  R5, R12, R13
+	ADD  R5, R13, R14
+	ADD  R5, R14, R15
+	MOVD R2, R16
+	MOVD TA_K(R0), R8
+
+	CBNZ R10, f64initbias
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	B    f64kloop
+
+f64initbias:
+	// Seed every row's accumulators with the bias chunk for these columns.
+	VLD1 (R19), [V0.D2, V1.D2]
+	VORR V0.B16, V0.B16, V2.B16
+	VORR V1.B16, V1.B16, V3.B16
+	VORR V0.B16, V0.B16, V4.B16
+	VORR V1.B16, V1.B16, V5.B16
+	VORR V0.B16, V0.B16, V6.B16
+	VORR V1.B16, V1.B16, V7.B16
+
+f64kloop:
+	VLD1  (R16), [V8.D2, V9.D2]
+	ADD   R6, R16
+	FMOVD (R12), F10
+	VDUP  V10.D[0], V10.D2
+	ADD   $8, R12
+	VFMLA V10.D2, V8.D2, V0.D2
+	VFMLA V10.D2, V9.D2, V1.D2
+	FMOVD (R13), F10
+	VDUP  V10.D[0], V10.D2
+	ADD   $8, R13
+	VFMLA V10.D2, V8.D2, V2.D2
+	VFMLA V10.D2, V9.D2, V3.D2
+	FMOVD (R14), F10
+	VDUP  V10.D[0], V10.D2
+	ADD   $8, R14
+	VFMLA V10.D2, V8.D2, V4.D2
+	VFMLA V10.D2, V9.D2, V5.D2
+	FMOVD (R15), F10
+	VDUP  V10.D[0], V10.D2
+	ADD   $8, R15
+	VFMLA V10.D2, V8.D2, V6.D2
+	VFMLA V10.D2, V9.D2, V7.D2
+	SUBS  $1, R8, R8
+	BGT   f64kloop
+
+	MOVD R3, R17
+	CBNZ R10, f64storebias
+
+	// mode 0: C = alpha*acc (+ beta*C when beta != 0).
+	FMOVD TA_BETA(R0), F13
+	FCMPD $(0.0), F13
+	BNE   f64betanz
+
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.D2, V0.D2, V15.D2
+	VFMLA V12.D2, V1.D2, V16.D2
+	VST1  [V15.D2, V16.D2], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.D2, V2.D2, V15.D2
+	VFMLA V12.D2, V3.D2, V16.D2
+	VST1  [V15.D2, V16.D2], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.D2, V4.D2, V15.D2
+	VFMLA V12.D2, V5.D2, V16.D2
+	VST1  [V15.D2, V16.D2], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.D2, V6.D2, V15.D2
+	VFMLA V12.D2, V7.D2, V16.D2
+	VST1  [V15.D2, V16.D2], (R17)
+	B     f64nextj
+
+f64betanz:
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.D2, V0.D2, V15.D2
+	VFMLA V12.D2, V1.D2, V16.D2
+	VLD1  (R17), [V17.D2, V18.D2]
+	VFMLA V13.D2, V17.D2, V15.D2
+	VFMLA V13.D2, V18.D2, V16.D2
+	VST1  [V15.D2, V16.D2], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.D2, V2.D2, V15.D2
+	VFMLA V12.D2, V3.D2, V16.D2
+	VLD1  (R17), [V17.D2, V18.D2]
+	VFMLA V13.D2, V17.D2, V15.D2
+	VFMLA V13.D2, V18.D2, V16.D2
+	VST1  [V15.D2, V16.D2], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.D2, V4.D2, V15.D2
+	VFMLA V12.D2, V5.D2, V16.D2
+	VLD1  (R17), [V17.D2, V18.D2]
+	VFMLA V13.D2, V17.D2, V15.D2
+	VFMLA V13.D2, V18.D2, V16.D2
+	VST1  [V15.D2, V16.D2], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.D2, V6.D2, V15.D2
+	VFMLA V12.D2, V7.D2, V16.D2
+	VLD1  (R17), [V17.D2, V18.D2]
+	VFMLA V13.D2, V17.D2, V15.D2
+	VFMLA V13.D2, V18.D2, V16.D2
+	VST1  [V15.D2, V16.D2], (R17)
+	B     f64nextj
+
+f64storebias:
+	// mode 1: the bias is already inside the accumulators; store raw.
+	VST1 [V0.D2, V1.D2], (R17)
+	ADD  R7, R17
+	VST1 [V2.D2, V3.D2], (R17)
+	ADD  R7, R17
+	VST1 [V4.D2, V5.D2], (R17)
+	ADD  R7, R17
+	VST1 [V6.D2, V7.D2], (R17)
+
+f64nextj:
+	ADD  $32, R2
+	ADD  $32, R3
+	ADD  $32, R19
+	SUBS $4, R9, R9
+	BGT  f64jloop
+	RET
+
+// func tsTileF32NEON(args *tileArgs)
+//
+// 4-row x 8-column strip; the float64 plan with 4-lane vectors and
+// byte-stride scale 4. alpha/beta arrive as float64 in the args block and
+// are narrowed once per call (FCVTDS), matching the amd64 f32 kernels.
+TEXT ·tsTileF32NEON(SB), NOSPLIT, $0-8
+	MOVD args+0(FP), R0
+	MOVD TA_A(R0), R1
+	MOVD TA_B(R0), R2
+	MOVD TA_C(R0), R3
+	MOVD TA_BIAS(R0), R19
+	MOVD TA_LDA(R0), R5
+	LSL  $2, R5
+	MOVD TA_LDB(R0), R6
+	LSL  $2, R6
+	MOVD TA_LDC(R0), R7
+	LSL  $2, R7
+	MOVD TA_N(R0), R9
+	MOVD TA_MODE(R0), R10
+
+	FMOVD  TA_ALPHA(R0), F12
+	FCVTDS F12, F12
+	VDUP   V12.S[0], V12.S4
+	FMOVD  TA_BETA(R0), F13
+	FCVTDS F13, F13
+	VDUP   V13.S[0], V13.S4
+	MOVW   $0x80000000, R11
+	VDUP   R11, V14.S4
+
+f32jloop:
+	MOVD R1, R12
+	ADD  R5, R12, R13
+	ADD  R5, R13, R14
+	ADD  R5, R14, R15
+	MOVD R2, R16
+	MOVD TA_K(R0), R8
+
+	CBNZ R10, f32initbias
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	B    f32kloop
+
+f32initbias:
+	VLD1 (R19), [V0.S4, V1.S4]
+	VORR V0.B16, V0.B16, V2.B16
+	VORR V1.B16, V1.B16, V3.B16
+	VORR V0.B16, V0.B16, V4.B16
+	VORR V1.B16, V1.B16, V5.B16
+	VORR V0.B16, V0.B16, V6.B16
+	VORR V1.B16, V1.B16, V7.B16
+
+f32kloop:
+	VLD1  (R16), [V8.S4, V9.S4]
+	ADD   R6, R16
+	FMOVS (R12), F10
+	VDUP  V10.S[0], V10.S4
+	ADD   $4, R12
+	VFMLA V10.S4, V8.S4, V0.S4
+	VFMLA V10.S4, V9.S4, V1.S4
+	FMOVS (R13), F10
+	VDUP  V10.S[0], V10.S4
+	ADD   $4, R13
+	VFMLA V10.S4, V8.S4, V2.S4
+	VFMLA V10.S4, V9.S4, V3.S4
+	FMOVS (R14), F10
+	VDUP  V10.S[0], V10.S4
+	ADD   $4, R14
+	VFMLA V10.S4, V8.S4, V4.S4
+	VFMLA V10.S4, V9.S4, V5.S4
+	FMOVS (R15), F10
+	VDUP  V10.S[0], V10.S4
+	ADD   $4, R15
+	VFMLA V10.S4, V8.S4, V6.S4
+	VFMLA V10.S4, V9.S4, V7.S4
+	SUBS  $1, R8, R8
+	BGT   f32kloop
+
+	MOVD R3, R17
+	CBNZ R10, f32storebias
+
+	FCMPS $(0.0), F13
+	BNE   f32betanz
+
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.S4, V0.S4, V15.S4
+	VFMLA V12.S4, V1.S4, V16.S4
+	VST1  [V15.S4, V16.S4], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.S4, V2.S4, V15.S4
+	VFMLA V12.S4, V3.S4, V16.S4
+	VST1  [V15.S4, V16.S4], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.S4, V4.S4, V15.S4
+	VFMLA V12.S4, V5.S4, V16.S4
+	VST1  [V15.S4, V16.S4], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.S4, V6.S4, V15.S4
+	VFMLA V12.S4, V7.S4, V16.S4
+	VST1  [V15.S4, V16.S4], (R17)
+	B     f32nextj
+
+f32betanz:
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.S4, V0.S4, V15.S4
+	VFMLA V12.S4, V1.S4, V16.S4
+	VLD1  (R17), [V17.S4, V18.S4]
+	VFMLA V13.S4, V17.S4, V15.S4
+	VFMLA V13.S4, V18.S4, V16.S4
+	VST1  [V15.S4, V16.S4], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.S4, V2.S4, V15.S4
+	VFMLA V12.S4, V3.S4, V16.S4
+	VLD1  (R17), [V17.S4, V18.S4]
+	VFMLA V13.S4, V17.S4, V15.S4
+	VFMLA V13.S4, V18.S4, V16.S4
+	VST1  [V15.S4, V16.S4], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.S4, V4.S4, V15.S4
+	VFMLA V12.S4, V5.S4, V16.S4
+	VLD1  (R17), [V17.S4, V18.S4]
+	VFMLA V13.S4, V17.S4, V15.S4
+	VFMLA V13.S4, V18.S4, V16.S4
+	VST1  [V15.S4, V16.S4], (R17)
+	ADD   R7, R17
+	VORR  V14.B16, V14.B16, V15.B16
+	VORR  V14.B16, V14.B16, V16.B16
+	VFMLA V12.S4, V6.S4, V15.S4
+	VFMLA V12.S4, V7.S4, V16.S4
+	VLD1  (R17), [V17.S4, V18.S4]
+	VFMLA V13.S4, V17.S4, V15.S4
+	VFMLA V13.S4, V18.S4, V16.S4
+	VST1  [V15.S4, V16.S4], (R17)
+	B     f32nextj
+
+f32storebias:
+	VST1 [V0.S4, V1.S4], (R17)
+	ADD  R7, R17
+	VST1 [V2.S4, V3.S4], (R17)
+	ADD  R7, R17
+	VST1 [V4.S4, V5.S4], (R17)
+	ADD  R7, R17
+	VST1 [V6.S4, V7.S4], (R17)
+
+f32nextj:
+	ADD  $32, R2
+	ADD  $32, R3
+	ADD  $32, R19
+	SUBS $8, R9, R9
+	BGT  f32jloop
+	RET
