@@ -6,6 +6,15 @@
 //	dpmd -system water -nx 4 -steps 500
 //	dpmd -system copper -nx 4 -steps 200 -precision mixed -ranks 4
 //	dpmd -system water -strategy compressed -model water.dp -dump traj.xyz
+//	dpmd -system water -ranks 4 -transport tcp               # 4 OS processes over sockets
+//	dpmd -system water -ranks 2 -transport tcp -mpi-rank 0 -hosts hostA:7001,hostB:7001
+//
+// With -transport tcp and no -mpi-rank, dpmd acts as a launcher: it
+// re-executes itself -ranks times with a shared rendezvous coordinator,
+// so the run spans real OS processes connected by TCP sockets. To span
+// machines, start one dpmd per host yourself, giving every invocation the
+// same -hosts table (rank i binds the port of hosts[i]) and its own
+// -mpi-rank. Both transports produce bit-identical physics.
 //
 // Execution is configured through the shared engine flags (-precision,
 // -strategy, -workers, -gemm-workers, -concurrency; see internal/cliopt):
@@ -18,16 +27,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"deepmd-go/internal/cliopt"
 	"deepmd-go/internal/compress"
 	"deepmd-go/internal/core"
 	"deepmd-go/internal/md"
+	"deepmd-go/internal/mpi"
 	"deepmd-go/internal/neighbor"
 	"deepmd-go/internal/tensor"
 	"deepmd-go/internal/units"
@@ -46,7 +60,12 @@ func main() {
 	steps := flag.Int("steps", 500, "MD steps")
 	netscale := flag.String("netscale", "tiny", "tiny | paper network geometry (ignored with -model)")
 	modelPath := flag.String("model", "", "load a trained model file instead of random weights")
-	ranks := flag.Int("ranks", 1, "simulated MPI ranks (domain decomposition)")
+	ranks := flag.Int("ranks", 1, "MPI ranks (domain decomposition)")
+	transport := flag.String("transport", "inproc", "multi-rank transport: inproc (goroutine ranks in this process) | tcp (one OS process per rank over sockets)")
+	hosts := flag.String("hosts", "", "comma-separated host:port table, one entry per rank, for multi-machine tcp runs (each machine runs dpmd with its own -mpi-rank)")
+	mpiRank := flag.Int("mpi-rank", -1, "this process's rank in a tcp world; set by the launcher, or by hand with -hosts")
+	mpiCoord := flag.String("mpi-coord", "", "rendezvous coordinator address for a tcp world; set by the launcher")
+	thermoJSON := flag.String("thermo-json", "", "write the thermo log and comm summary as JSON to this file (rank 0)")
 	tempK := flag.Float64("temp", 330, "initial temperature (K)")
 	seed := flag.Int64("seed", 1, "random seed")
 	dump := flag.String("dump", "", "write final configuration as XYZ")
@@ -55,7 +74,11 @@ func main() {
 	eng := cliopt.Bind(flag.CommandLine, runtime.NumCPU())
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "dpmd: %s\n", tensor.KernelInfo())
+	// In a tcp world only rank 0 narrates; the other workers would print
+	// the identical banner and thermo log (SPMD: same inputs, same state).
+	if *mpiRank <= 0 {
+		fmt.Fprintf(os.Stderr, "dpmd: %s\n", tensor.KernelInfo())
+	}
 
 	// Fold the pre-Engine boolean aliases into the shared strategy flag.
 	for _, alias := range []struct {
@@ -70,6 +93,41 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "dpmd: -%s is deprecated; use -strategy %s\n", alias.flag, alias.strat)
 		eng.Strategy = alias.strat
+	}
+
+	if *transport != "inproc" && *transport != "tcp" {
+		log.Fatalf("unknown transport %q (want inproc or tcp)", *transport)
+	}
+	if *transport == "inproc" && (*mpiRank >= 0 || *hosts != "") {
+		log.Fatal("-mpi-rank and -hosts only apply with -transport tcp")
+	}
+	// Launcher mode: with -transport tcp and no assigned rank, re-execute
+	// this binary once per rank against a local rendezvous coordinator.
+	// Each child re-enters main with the same command line plus -mpi-rank
+	// and -mpi-coord, runs its rank, and the parent forwards failures.
+	if *transport == "tcp" && *mpiRank < 0 {
+		if *hosts != "" {
+			log.Fatal("-hosts describes a static multi-machine world: start dpmd on each machine with its own -mpi-rank instead of relying on the local launcher")
+		}
+		if *ranks < 2 {
+			log.Fatal("-transport tcp needs -ranks >= 2 (use inproc for a single rank)")
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = mpi.LaunchLocal(*ranks, func(rank int, coord string) *exec.Cmd {
+			args := append(append([]string{}, os.Args[1:]...),
+				"-mpi-rank", strconv.Itoa(rank), "-mpi-coord", coord)
+			cmd := exec.Command(exe, args...)
+			cmd.Stdout = os.Stdout
+			cmd.Stderr = os.Stderr
+			return cmd
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	var sys *deepmd.System
@@ -140,24 +198,56 @@ func main() {
 	plan := engine.Plan()
 
 	sys.InitVelocities(*tempK, *seed+1)
-	fmt.Printf("system %s: %d atoms, box %.1f x %.1f x %.1f A, dt %.1f fs, %s/%s plan, %d rank(s)\n",
-		*system, sys.N(), sys.Box.L[0], sys.Box.L[1], sys.Box.L[2], dt*1000,
-		plan.Precision, plan.Strategy, *ranks)
+	if *mpiRank <= 0 {
+		fmt.Printf("system %s: %d atoms, box %.1f x %.1f x %.1f A, dt %.1f fs, %s/%s plan, %d rank(s), %s transport\n",
+			*system, sys.N(), sys.Box.L[0], sys.Box.L[1], sys.Box.L[2], dt*1000,
+			plan.Precision, plan.Strategy, *ranks, *transport)
+	}
 
-	if *ranks > 1 {
-		stats, err := deepmd.RunParallelShared(sys, engine, deepmd.ParallelOptions{
+	if *ranks > 1 || *mpiRank >= 0 || *thermoJSON != "" {
+		popt := deepmd.ParallelOptions{
 			Ranks: *ranks, Dt: dt, Steps: *steps, Spec: spec,
 			RebuildEvery: 50, ThermoEvery: 20, UseIallreduce: true,
-		})
-		if err != nil {
-			log.Fatal(err)
+		}
+		var stats *deepmd.ParallelStats
+		if *transport == "tcp" {
+			cfg := mpi.TCPConfig{Rank: *mpiRank, Size: *ranks, Coordinator: *mpiCoord}
+			if *hosts != "" {
+				cfg.Hosts = strings.Split(*hosts, ",")
+			}
+			w, err := mpi.DialTCP(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stats, err = deepmd.RunParallelOn(w.Comm(), sys, engine, popt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				log.Fatal(err)
+			}
+			if *mpiRank != 0 {
+				return
+			}
+		} else {
+			var err error
+			stats, err = deepmd.RunParallelShared(sys, engine, popt)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		for _, th := range stats.Thermo {
 			printThermo(th)
 		}
 		perStep := stats.LoopTime.Seconds() / float64(*steps)
-		fmt.Printf("MD loop %.2f s | %.1f ms/step | %.3g s/step/atom | %d msgs, %d bytes\n",
-			stats.LoopTime.Seconds(), perStep*1000, perStep/float64(sys.N()), stats.Messages, stats.Bytes)
+		fmt.Printf("MD loop %.2f s | %.1f ms/step | %.3g s/step/atom | %d msgs, %d bytes (%d framed)\n",
+			stats.LoopTime.Seconds(), perStep*1000, perStep/float64(sys.N()), stats.Messages, stats.Bytes, stats.WireBytes)
+		if *thermoJSON != "" {
+			if err := writeThermoJSON(*thermoJSON, *transport, *ranks, stats); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *thermoJSON)
+		}
 		return
 	}
 
@@ -189,6 +279,51 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *dump)
 	}
+}
+
+// thermoDoc is the -thermo-json schema. The physics block is transport
+// invariant: for the same seed and command line, `jq -S .physics` is
+// byte-identical between -transport inproc and -transport tcp (Go's JSON
+// encoder emits shortest-round-trip float64s, so bit-identical physics
+// means byte-identical JSON) — the CI smoke diffs exactly that. The comm
+// block is per-transport diagnostics; Iallreduce message topology
+// legitimately differs between the two worlds, so it is not compared.
+type thermoDoc struct {
+	Physics struct {
+		Thermo       []deepmd.Thermo `json:"thermo"`
+		PEPerRank    []float64       `json:"pe_per_rank"`
+		KEPerRank    []float64       `json:"ke_per_rank"`
+		AtomsPerRank []int           `json:"atoms_per_rank"`
+	} `json:"physics"`
+	Comm struct {
+		Transport      string    `json:"transport"`
+		Ranks          int       `json:"ranks"`
+		Messages       int64     `json:"messages"`
+		Bytes          int64     `json:"bytes"`
+		WireBytes      int64     `json:"wire_bytes"`
+		OverlapPerRank []float64 `json:"overlap_per_rank"`
+		LoopSeconds    float64   `json:"loop_seconds"`
+	} `json:"comm"`
+}
+
+func writeThermoJSON(path, transport string, ranks int, st *deepmd.ParallelStats) error {
+	var doc thermoDoc
+	doc.Physics.Thermo = st.Thermo
+	doc.Physics.PEPerRank = st.PEPerRank
+	doc.Physics.KEPerRank = st.KEPerRank
+	doc.Physics.AtomsPerRank = st.AtomsPerRank
+	doc.Comm.Transport = transport
+	doc.Comm.Ranks = ranks
+	doc.Comm.Messages = st.Messages
+	doc.Comm.Bytes = st.Bytes
+	doc.Comm.WireBytes = st.WireBytes
+	doc.Comm.OverlapPerRank = st.OverlapPerRank
+	doc.Comm.LoopSeconds = st.LoopTime.Seconds()
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func printThermo(th deepmd.Thermo) {

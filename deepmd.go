@@ -44,6 +44,7 @@ import (
 	"deepmd-go/internal/lattice"
 	"deepmd-go/internal/learn"
 	"deepmd-go/internal/md"
+	"deepmd-go/internal/mpi"
 	"deepmd-go/internal/neighbor"
 	"deepmd-go/internal/perfmodel"
 	"deepmd-go/internal/refpot"
@@ -303,6 +304,15 @@ func RunParallel(sys *System, newPot func() Potential, opt ParallelOptions) (*Pa
 // WithMaxConcurrency(>= Ranks); see domain.RunShared.
 func RunParallelShared(sys *System, pot Potential, opt ParallelOptions) (*ParallelStats, error) {
 	return domain.RunShared(sys, pot, opt)
+}
+
+// RunParallelOn executes this process's rank of a distributed simulation
+// on an already-connected communicator — the SPMD entry point used by
+// cmd/dpmd's tcp transport, where every process calls it with the same
+// full System and its own rank's Comm (see mpi.DialTCP). Stats are
+// populated on rank 0 only.
+func RunParallelOn(c *mpi.Comm, sys *System, pot Potential, opt ParallelOptions) (*ParallelStats, error) {
+	return domain.RunOn(c, sys, pot, opt)
 }
 
 // System builders.

@@ -1,6 +1,8 @@
 package domain
 
 import (
+	"time"
+
 	"deepmd-go/internal/mpi"
 	"deepmd-go/internal/neighbor"
 )
@@ -12,7 +14,8 @@ const (
 	tagForward = 300 // +stage offset
 	tagReverse = 400 // +stage offset
 	tagThermo  = 500
-	tagGather  = 600
+	tagGather  = 600 // +0 gid, +1 force, +2 pos
+	tagStats   = 700
 )
 
 // rankState is one rank's atom storage: locals in [0, nloc), ghosts in
@@ -33,6 +36,14 @@ type rankState struct {
 	nloc int
 
 	plan []stagePlan
+
+	// Comm/compute overlap accounting for the per-step exchange: commWait
+	// is time blocked in Wait, commWindow the whole forward/reverse wall
+	// time. 1 - wait/window is the fraction of the exchange window in
+	// which packing, copying and accumulation proceeded while messages
+	// were in flight (reported per rank by the scaling experiment).
+	commWait   time.Duration
+	commWindow time.Duration
 }
 
 // stagePlan records one direction of one staged border exchange so the
@@ -43,6 +54,17 @@ type stagePlan struct {
 	sendIdx           []int32
 	shift             float64
 	recvBase, recvCnt int
+
+	// Reusable per-step send buffers, hoisted here so the steady-state
+	// forward/reverse path is allocation-free (they used to be allocated
+	// per stage per step). The `any` values are the same slices boxed
+	// once at plan-build time — converting a slice to an interface
+	// allocates, so the pre-boxed headers are sent instead and the
+	// fixed-length slices are refilled in place each step.
+	fwdSend []float64
+	fwdBox  any
+	revSend []float64
+	revBox  any
 }
 
 // atomBundle is the payload for migration and border sends.
@@ -192,62 +214,106 @@ func (rs *rankState) borders() {
 			rs.pos = append(rs.pos, in.Pos...)
 			rs.typ = append(rs.typ, in.Typ...)
 			rs.gid = append(rs.gid, in.Gid...)
+			fwd := make([]float64, 3*len(idx))
+			rev := make([]float64, 3*len(in.Typ))
 			rs.plan = append(rs.plan, stagePlan{
 				dim: dim, dir: dir,
 				sendTo: sendTo, recvFrom: recvFrom,
 				sendIdx: idx, shift: shiftSend,
 				recvBase: base, recvCnt: len(in.Typ),
+				fwdSend: fwd, fwdBox: any(fwd),
+				revSend: rev, revBox: any(rev),
 			})
 		}
 	}
 }
 
-// forward refreshes ghost positions along the recorded plan (the per-step
-// ghost-region communication of Sec. 5.4).
-func (rs *rankState) forward() {
-	for si := range rs.plan {
-		sp := &rs.plan[si]
-		buf := make([]float64, 0, 3*len(sp.sendIdx))
-		for _, i := range sp.sendIdx {
-			x, y, z := rs.pos[3*i], rs.pos[3*i+1], rs.pos[3*i+2]
-			switch sp.dim {
-			case 0:
-				x += sp.shift
-			case 1:
-				y += sp.shift
-			default:
-				z += sp.shift
-			}
-			buf = append(buf, x, y, z)
+// packForward fills the stage's reusable send buffer with the current
+// (shifted) positions of the atoms it exports.
+func (rs *rankState) packForward(sp *stagePlan) {
+	for k, i := range sp.sendIdx {
+		x, y, z := rs.pos[3*i], rs.pos[3*i+1], rs.pos[3*i+2]
+		switch sp.dim {
+		case 0:
+			x += sp.shift
+		case 1:
+			y += sp.shift
+		default:
+			z += sp.shift
 		}
-		tag := tagForward + si
-		rs.comm.Send(sp.sendTo, tag, buf)
-		in := rs.comm.Recv(sp.recvFrom, tag).([]float64)
-		copy(rs.pos[3*sp.recvBase:3*(sp.recvBase+sp.recvCnt)], in)
+		sp.fwdSend[3*k], sp.fwdSend[3*k+1], sp.fwdSend[3*k+2] = x, y, z
 	}
+}
+
+// forward refreshes ghost positions along the recorded plan (the per-step
+// ghost-region communication of Sec. 5.4). The two directions of each
+// dimension are independent, so both receives are posted and both sends
+// packed before either Wait: the second direction's packing (and, on the
+// wire transport, the frame encoding and socket IO) overlaps the first
+// message's flight. Dimensions stay sequential — a later dimension
+// forwards ghosts received in earlier ones. Waits complete in fixed stage
+// order so the result is bit-identical to the synchronous exchange.
+func (rs *rankState) forward() {
+	start := time.Now()
+	for si := 0; si+1 < len(rs.plan); si += 2 {
+		a, b := &rs.plan[si], &rs.plan[si+1]
+		ra := rs.comm.Irecv(a.recvFrom, tagForward+si)
+		rb := rs.comm.Irecv(b.recvFrom, tagForward+si+1)
+		rs.packForward(a)
+		rs.comm.Isend(a.sendTo, tagForward+si, a.fwdBox)
+		rs.packForward(b)
+		rs.comm.Isend(b.sendTo, tagForward+si+1, b.fwdBox)
+		t := time.Now()
+		in := ra.Wait().([]float64)
+		rs.commWait += time.Since(t)
+		copy(rs.pos[3*a.recvBase:3*(a.recvBase+a.recvCnt)], in)
+		t = time.Now()
+		in = rb.Wait().([]float64)
+		rs.commWait += time.Since(t)
+		copy(rs.pos[3*b.recvBase:3*(b.recvBase+b.recvCnt)], in)
+	}
+	rs.commWindow += time.Since(start)
 }
 
 // reverse returns ghost forces to their owners along the plan in reverse
 // order, accumulating into the sender's force entries (which may
 // themselves be ghosts of an earlier stage, cascading the contribution
-// home).
+// home). Like forward, the two directions of a dimension exchange
+// concurrently; accumulation still happens in descending stage order (the
+// two directions' ghost-force source regions are disjoint from both
+// accumulation targets, so packing both before accumulating either reads
+// the same values the synchronous exchange did — bit-identical results).
 func (rs *rankState) reverse(force []float64) {
-	for si := len(rs.plan) - 1; si >= 0; si-- {
-		sp := &rs.plan[si]
-		buf := make([]float64, 3*sp.recvCnt)
-		copy(buf, force[3*sp.recvBase:3*(sp.recvBase+sp.recvCnt)])
-		tag := tagReverse + si
+	start := time.Now()
+	for si := len(rs.plan) - 1; si >= 1; si -= 2 {
+		a, b := &rs.plan[si], &rs.plan[si-1]
 		// Reverse direction: I received ghosts from recvFrom, so I return
 		// their forces there; my own sent atoms' forces come back from
 		// sendTo.
-		rs.comm.Send(sp.recvFrom, tag, buf)
-		in := rs.comm.Recv(sp.sendTo, tag).([]float64)
-		for k, i := range sp.sendIdx {
+		ra := rs.comm.Irecv(a.sendTo, tagReverse+si)
+		rb := rs.comm.Irecv(b.sendTo, tagReverse+si-1)
+		copy(a.revSend, force[3*a.recvBase:3*(a.recvBase+a.recvCnt)])
+		rs.comm.Isend(a.recvFrom, tagReverse+si, a.revBox)
+		copy(b.revSend, force[3*b.recvBase:3*(b.recvBase+b.recvCnt)])
+		rs.comm.Isend(b.recvFrom, tagReverse+si-1, b.revBox)
+		t := time.Now()
+		in := ra.Wait().([]float64)
+		rs.commWait += time.Since(t)
+		for k, i := range a.sendIdx {
+			force[3*i] += in[3*k]
+			force[3*i+1] += in[3*k+1]
+			force[3*i+2] += in[3*k+2]
+		}
+		t = time.Now()
+		in = rb.Wait().([]float64)
+		rs.commWait += time.Since(t)
+		for k, i := range b.sendIdx {
 			force[3*i] += in[3*k]
 			force[3*i+1] += in[3*k+1]
 			force[3*i+2] += in[3*k+2]
 		}
 	}
+	rs.commWindow += time.Since(start)
 }
 
 // ghostCount returns the current number of ghost atoms.

@@ -42,7 +42,10 @@ type Options struct {
 	Workers int
 }
 
-// Stats is the result of a parallel run.
+// Stats is the result of a parallel run. Everything is gathered onto
+// rank 0 with ordinary messages rather than written through shared
+// memory, so the identical SPMD body runs on both transports; on a
+// multi-process run only rank 0's Stats is populated.
 type Stats struct {
 	// Thermo holds the globally reduced samples (rank 0's view).
 	Thermo []md.Thermo
@@ -50,13 +53,54 @@ type Stats struct {
 	// (the quantities of Table 4).
 	AtomsPerRank  []int
 	GhostsPerRank []int
+	// PEPerRank and KEPerRank are each rank's final local potential
+	// energy (last force evaluation) and kinetic energy (after the final
+	// half-kick) — the per-rank quantities the cross-transport
+	// differential holds bit-identical.
+	PEPerRank []float64
+	KEPerRank []float64
+	// OverlapPerRank is the measured comm/compute overlap fraction of the
+	// per-step exchange: 1 - (time blocked in Wait)/(exchange wall time).
+	OverlapPerRank []float64
 	// ForceByGID and PosByGID are gathered when Options.GatherForces.
 	ForceByGID map[int64][3]float64
 	PosByGID   map[int64][3]float64
-	// Messages and Bytes are the communication totals.
+	// Messages and Bytes are the communication totals of the MD loop
+	// summed over ranks (codec-exact payload bytes, snapshotted before
+	// the stats gather itself). WireBytes adds the per-message framing
+	// the TCP transport writes: Bytes + mpi.FrameOverhead×Messages.
 	Messages, Bytes int64
+	WireBytes       int64
 	// LoopTime is the MD loop wall time ("MD loop time" of Sec. 6.3).
 	LoopTime time.Duration
+}
+
+// applyDefaults fills the cadence defaults in place.
+func applyDefaults(opt *Options) {
+	if opt.Ranks < 1 {
+		opt.Ranks = 1
+	}
+	if opt.RebuildEvery <= 0 {
+		opt.RebuildEvery = 50
+	}
+	if opt.ThermoEvery <= 0 {
+		opt.ThermoEvery = 20
+	}
+}
+
+// resolveGrid selects and validates the process grid for the options.
+func resolveGrid(opt Options, box neighbor.Box) ([3]int, error) {
+	grid := opt.Grid
+	if grid[0] == 0 || grid[1] == 0 || grid[2] == 0 {
+		grid = BestGrid(opt.Ranks, box.L)
+	}
+	if grid[0]*grid[1]*grid[2] != opt.Ranks {
+		return grid, fmt.Errorf("domain: grid %v does not match %d ranks", grid, opt.Ranks)
+	}
+	if err := validateGrid(grid, box.L, opt.Spec.RcutBuild()); err != nil {
+		return grid, err
+	}
+	return grid, nil
 }
 
 // RunShared executes a domain-decomposed simulation in which every rank
@@ -81,38 +125,20 @@ func RunShared(sys *md.System, pot md.Potential, opt Options) (*Stats, error) {
 	return Run(sys, func() md.Potential { return pot }, opt)
 }
 
-// Run executes a domain-decomposed simulation of the given full system.
-// Every rank receives the complete initial system (the replicated-setup
-// strategy of Sec. 7.3) and keeps only the atoms it owns. newPot builds a
-// per-rank potential evaluator; ranks calling a shared goroutine-safe
-// potential instead should use RunShared.
+// Run executes a domain-decomposed simulation of the given full system on
+// the in-process transport. Every rank receives the complete initial
+// system (the replicated-setup strategy of Sec. 7.3) and keeps only the
+// atoms it owns. newPot builds a per-rank potential evaluator; ranks
+// calling a shared goroutine-safe potential instead should use RunShared.
 func Run(sys *md.System, newPot func() md.Potential, opt Options) (*Stats, error) {
-	if opt.Ranks < 1 {
-		opt.Ranks = 1
-	}
-	if opt.RebuildEvery <= 0 {
-		opt.RebuildEvery = 50
-	}
-	if opt.ThermoEvery <= 0 {
-		opt.ThermoEvery = 20
-	}
-	grid := opt.Grid
-	if grid[0] == 0 || grid[1] == 0 || grid[2] == 0 {
-		grid = BestGrid(opt.Ranks, sys.Box.L)
-	}
-	if grid[0]*grid[1]*grid[2] != opt.Ranks {
-		return nil, fmt.Errorf("domain: grid %v does not match %d ranks", grid, opt.Ranks)
-	}
-	cut := opt.Spec.RcutBuild()
-	if err := validateGrid(grid, sys.Box.L, cut); err != nil {
+	applyDefaults(&opt)
+	grid, err := resolveGrid(opt, sys.Box)
+	if err != nil {
 		return nil, err
 	}
 
 	world := mpi.NewWorld(opt.Ranks)
-	stats := &Stats{
-		AtomsPerRank:  make([]int, opt.Ranks),
-		GhostsPerRank: make([]int, opt.Ranks),
-	}
+	stats := &Stats{}
 	start := time.Now()
 
 	var runErr error
@@ -134,12 +160,53 @@ func Run(sys *md.System, newPot func() md.Potential, opt Options) (*Stats, error
 		return nil, runErr
 	}
 	stats.LoopTime = time.Since(start)
-	stats.Messages = world.Messages()
-	stats.Bytes = world.Bytes()
 	return stats, nil
 }
 
-// runRank is the per-rank SPMD body.
+// RunOn executes the same SPMD body on an externally created
+// communicator: one OS process per rank over the TCP transport (the
+// cmd/dpmd worker mode), or one rank of a caller-managed in-process
+// world. Every rank must call it with the same full system and options.
+// The returned Stats is fully populated on rank 0 only — other ranks get
+// their LoopTime and nothing else, exactly as a real MPI program would.
+func RunOn(c *mpi.Comm, sys *md.System, pot md.Potential, opt Options) (*Stats, error) {
+	opt.Ranks = c.Size()
+	applyDefaults(&opt)
+	if opt.Workers <= 0 {
+		if wh, ok := pot.(md.WorkerHinter); ok {
+			opt.Workers = wh.EvalWorkers()
+		}
+	}
+	grid, err := resolveGrid(opt, sys.Box)
+	if err != nil {
+		return nil, err
+	}
+	stats := &Stats{}
+	start := time.Now()
+	if err := runRank(c, sys, pot, opt, grid, stats); err != nil {
+		return nil, err
+	}
+	stats.LoopTime = time.Since(start)
+	return stats, nil
+}
+
+// statVec indices for the per-rank summary gathered onto rank 0.
+const (
+	svNloc = iota
+	svGhosts
+	svMsgs
+	svBytes
+	svWaitNs
+	svWindowNs
+	svPE
+	svKE
+	svLen
+)
+
+// runRank is the per-rank SPMD body. Only rank 0 writes stats; every
+// cross-rank quantity travels as a message, so the body is transport-
+// agnostic (goroutine ranks share the stats pointer, process ranks each
+// hold their own).
 func runRank(c *mpi.Comm, full *md.System, pot md.Potential, opt Options, grid [3]int, stats *Stats) error {
 	coord := coordOf(c.Rank(), grid)
 	lo, hi := subBox(coord, grid, full.Box.L)
@@ -215,15 +282,17 @@ func runRank(c *mpi.Comm, full *md.System, pot md.Potential, opt Options, grid [
 			StressZZ:    (nkt/3 + g[3]) / vol * units.PressureEVA3ToBar,
 		})
 	}
-	sample := func(step int) {
-		// Local contributions: KE, PE, virial trace, W_zz, atom count.
+	kinetic := func() float64 {
 		var ke float64
 		for i := 0; i < rs.nloc; i++ {
 			m := full.MassByType[rs.typ[i]]
 			ke += 0.5 * m * (rs.vel[3*i]*rs.vel[3*i] + rs.vel[3*i+1]*rs.vel[3*i+1] + rs.vel[3*i+2]*rs.vel[3*i+2])
 		}
-		ke *= units.KineticToEV
-		local := []float64{ke, res.Energy, res.Virial[0] + res.Virial[4] + res.Virial[8], res.Virial[8], float64(rs.nloc)}
+		return ke * units.KineticToEV
+	}
+	sample := func(step int) {
+		// Local contributions: KE, PE, virial trace, W_zz, atom count.
+		local := []float64{kinetic(), res.Energy, res.Virial[0] + res.Virial[4] + res.Virial[8], res.Virial[8], float64(rs.nloc)}
 		if opt.UseIallreduce {
 			// Consume the previous pending reduction first (one sample
 			// of pipeline latency, as in Sec. 5.4).
@@ -278,33 +347,66 @@ func runRank(c *mpi.Comm, full *md.System, pot md.Potential, opt Options, grid [
 		record(pendingStep, pending.Wait())
 	}
 
-	stats.AtomsPerRank[c.Rank()] = rs.nloc
-	stats.GhostsPerRank[c.Rank()] = rs.ghostCount()
+	// Per-rank summary, gathered with ordinary messages. The traffic
+	// counters are snapshotted here — the quiescent point after the MD
+	// loop — so the gather below does not count itself.
+	vec := make([]float64, svLen)
+	vec[svNloc] = float64(rs.nloc)
+	vec[svGhosts] = float64(rs.ghostCount())
+	vec[svMsgs] = float64(c.SentMessages())
+	vec[svBytes] = float64(c.SentBytes())
+	vec[svWaitNs] = float64(rs.commWait.Nanoseconds())
+	vec[svWindowNs] = float64(rs.commWindow.Nanoseconds())
+	vec[svPE] = res.Energy
+	vec[svKE] = kinetic()
+	if c.Rank() == 0 {
+		p := c.Size()
+		stats.AtomsPerRank = make([]int, p)
+		stats.GhostsPerRank = make([]int, p)
+		stats.PEPerRank = make([]float64, p)
+		stats.KEPerRank = make([]float64, p)
+		stats.OverlapPerRank = make([]float64, p)
+		fill := func(r int, v []float64) {
+			stats.AtomsPerRank[r] = int(v[svNloc])
+			stats.GhostsPerRank[r] = int(v[svGhosts])
+			stats.Messages += int64(v[svMsgs])
+			stats.Bytes += int64(v[svBytes])
+			if v[svWindowNs] > 0 {
+				stats.OverlapPerRank[r] = 1 - v[svWaitNs]/v[svWindowNs]
+			}
+			stats.PEPerRank[r] = v[svPE]
+			stats.KEPerRank[r] = v[svKE]
+		}
+		fill(0, vec)
+		for src := 1; src < p; src++ {
+			fill(src, c.Recv(src, tagStats).([]float64))
+		}
+		stats.WireBytes = stats.Bytes + mpi.FrameOverhead*stats.Messages
+	} else {
+		c.Send(0, tagStats, vec)
+	}
 
 	if opt.GatherForces {
-		type gathered struct {
-			Gid   []int64
-			Force []float64
-			Pos   []float64
-		}
-		g := gathered{Gid: rs.gid[:rs.nloc]}
-		g.Force = append(g.Force, res.Force[:3*rs.nloc]...)
-		g.Pos = append(g.Pos, rs.pos[:3*rs.nloc]...)
 		if c.Rank() == 0 {
 			stats.ForceByGID = make(map[int64][3]float64)
 			stats.PosByGID = make(map[int64][3]float64)
-			add := func(g gathered) {
-				for k, id := range g.Gid {
-					stats.ForceByGID[id] = [3]float64{g.Force[3*k], g.Force[3*k+1], g.Force[3*k+2]}
-					stats.PosByGID[id] = [3]float64{g.Pos[3*k], g.Pos[3*k+1], g.Pos[3*k+2]}
+			add := func(gid []int64, force, pos []float64) {
+				for k, id := range gid {
+					stats.ForceByGID[id] = [3]float64{force[3*k], force[3*k+1], force[3*k+2]}
+					stats.PosByGID[id] = [3]float64{pos[3*k], pos[3*k+1], pos[3*k+2]}
 				}
 			}
-			add(g)
+			add(rs.gid[:rs.nloc], res.Force[:3*rs.nloc], rs.pos[:3*rs.nloc])
 			for src := 1; src < c.Size(); src++ {
-				add(c.Recv(src, tagGather).(gathered))
+				gid := c.Recv(src, tagGather).([]int64)
+				force := c.Recv(src, tagGather+1).([]float64)
+				pos := c.Recv(src, tagGather+2).([]float64)
+				add(gid, force, pos)
 			}
 		} else {
-			c.Send(0, tagGather, g)
+			c.Send(0, tagGather, rs.gid[:rs.nloc])
+			c.Send(0, tagGather+1, res.Force[:3*rs.nloc])
+			c.Send(0, tagGather+2, rs.pos[:3*rs.nloc])
 		}
 	}
 	return nil

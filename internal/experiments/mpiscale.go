@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"deepmd-go/internal/core"
+	"deepmd-go/internal/domain"
+	"deepmd-go/internal/lattice"
+	"deepmd-go/internal/md"
+	"deepmd-go/internal/mpi"
+	"deepmd-go/internal/neighbor"
+	"deepmd-go/internal/units"
+)
+
+// MPIScaling is the ISSUE 9 rank-scaling experiment over real sockets:
+// the Fig. 5/6 strong/weak shapes of the water system, run once on the
+// in-process transport (the oracle) and once on the TCP transport with
+// one TCPWorld per rank meshed over loopback sockets. Every TCP leg is
+// differentially checked against its in-process twin — thermo log and
+// per-rank energies must be bit-identical — and the rows record the
+// communication volume (message counts, codec-exact payload bytes, framed
+// wire bytes) and the measured comm/compute overlap fraction of the
+// staged halo exchange.
+type MPIScalingResult struct {
+	Rows []MPIScalingRow
+}
+
+// MPIScalingRow is one (shape, rank count, transport) measurement.
+type MPIScalingRow struct {
+	Mode      string // "strong" (fixed total atoms) or "weak" (fixed atoms/rank)
+	Atoms     int
+	Ranks     int
+	Transport string // "inproc" or "tcp"
+	Steps     int
+	LoopTime  time.Duration
+	Messages  int64
+	Bytes     int64
+	WireBytes int64
+	// Overlap is the mean over ranks of 1 - wait/window in the exchange.
+	Overlap float64
+	// BitIdentical reports the differential against the in-process twin
+	// (always true for the inproc rows themselves).
+	BitIdentical bool
+}
+
+// mpiWaterCase is one system size + decomposition of the experiment.
+type mpiWaterCase struct {
+	mode  string
+	nx    [3]int // molecules per axis
+	ranks int
+	grid  [3]int
+}
+
+// mpiscaleCases returns the strong legs (fixed 4x4x4-molecule box split
+// 1..8 ways, Fig. 5 shape) and the weak legs (a constant 4x4x4-molecule
+// sub-domain per rank, doubling one axis at a time, Fig. 6 shape).
+func mpiscaleCases() []mpiWaterCase {
+	return []mpiWaterCase{
+		{"strong", [3]int{4, 4, 4}, 1, [3]int{1, 1, 1}},
+		{"strong", [3]int{4, 4, 4}, 2, [3]int{2, 1, 1}},
+		{"strong", [3]int{4, 4, 4}, 4, [3]int{2, 2, 1}},
+		{"strong", [3]int{4, 4, 4}, 8, [3]int{2, 2, 2}},
+		{"weak", [3]int{4, 4, 4}, 1, [3]int{1, 1, 1}},
+		{"weak", [3]int{8, 4, 4}, 2, [3]int{2, 1, 1}},
+		{"weak", [3]int{8, 8, 4}, 4, [3]int{2, 2, 1}},
+		{"weak", [3]int{8, 8, 8}, 8, [3]int{2, 2, 2}},
+	}
+}
+
+// MPIScaling runs the strong and weak rank-scaling legs on both
+// transports. steps <= 0 defaults by scale (10 quick, 30 full).
+func MPIScaling(sc Scale, steps int) (*MPIScalingResult, error) {
+	if steps <= 0 {
+		steps = 10
+		if sc == Full {
+			steps = 30
+		}
+	}
+	cfg := core.TinyConfig(2)
+	cfg.TypeNames = []string{"O", "H"}
+	cfg.Masses = []float64{units.MassO, units.MassH}
+	cfg.Rcut, cfg.RcutSmth, cfg.Skin = 4.0, 0.5, 1.0
+	cfg.Sel = []int{12, 24}
+	cfg.Seed = 17
+	model, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec := neighbor.Spec{Rcut: cfg.Rcut, Skin: cfg.Skin, Sel: cfg.Sel}
+	newPot := func() md.Potential { return core.NewEvaluator[float64](model) }
+
+	res := &MPIScalingResult{}
+	for _, cs := range mpiscaleCases() {
+		cell := lattice.Water(cs.nx[0], cs.nx[1], cs.nx[2], lattice.WaterSpacing, 17)
+		sys := &md.System{
+			Pos:        cell.Pos,
+			Types:      cell.Types,
+			MassByType: cfg.Masses,
+			Box:        cell.Box,
+			Vel:        make([]float64, 3*cell.N()),
+		}
+		sys.InitVelocities(330, 18)
+		opt := domain.Options{
+			Ranks: cs.ranks, Grid: cs.grid, Dt: 0.0005, Steps: steps, Spec: spec,
+			RebuildEvery: 5, ThermoEvery: 5, UseIallreduce: true,
+		}
+
+		inproc, err := domain.Run(sys, newPot, opt)
+		if err != nil {
+			return nil, fmt.Errorf("mpiscale %s ranks=%d inproc: %w", cs.mode, cs.ranks, err)
+		}
+		res.Rows = append(res.Rows, mpiscaleRow(cs, sys.N(), steps, "inproc", inproc, true))
+
+		tcp, err := runTCPRanks(cs.ranks, sys, newPot, opt)
+		if err != nil {
+			return nil, fmt.Errorf("mpiscale %s ranks=%d tcp: %w", cs.mode, cs.ranks, err)
+		}
+		same := statsBitIdentical(inproc, tcp)
+		if !same {
+			return nil, fmt.Errorf("mpiscale %s ranks=%d: TCP results diverge from in-process oracle", cs.mode, cs.ranks)
+		}
+		res.Rows = append(res.Rows, mpiscaleRow(cs, sys.N(), steps, "tcp", tcp, same))
+	}
+	return res, nil
+}
+
+func mpiscaleRow(cs mpiWaterCase, atoms, steps int, transport string, st *domain.Stats, same bool) MPIScalingRow {
+	row := MPIScalingRow{
+		Mode: cs.mode, Atoms: atoms, Ranks: cs.ranks, Transport: transport,
+		Steps: steps, LoopTime: st.LoopTime,
+		Messages: st.Messages, Bytes: st.Bytes, WireBytes: st.WireBytes,
+		BitIdentical: same,
+	}
+	for _, o := range st.OverlapPerRank {
+		row.Overlap += o
+	}
+	if len(st.OverlapPerRank) > 0 {
+		row.Overlap /= float64(len(st.OverlapPerRank))
+	}
+	return row
+}
+
+// statsBitIdentical is the differential: rank-0 observables must match
+// exactly (==, not within tolerance) between transports.
+func statsBitIdentical(a, b *domain.Stats) bool {
+	if len(a.Thermo) != len(b.Thermo) || len(a.PEPerRank) != len(b.PEPerRank) {
+		return false
+	}
+	for i := range a.Thermo {
+		if a.Thermo[i] != b.Thermo[i] {
+			return false
+		}
+	}
+	for r := range a.PEPerRank {
+		if a.PEPerRank[r] != b.PEPerRank[r] || a.KEPerRank[r] != b.KEPerRank[r] {
+			return false
+		}
+		if a.AtomsPerRank[r] != b.AtomsPerRank[r] || a.GhostsPerRank[r] != b.GhostsPerRank[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// runTCPRanks runs one rank per goroutine, each with its own TCPWorld
+// meshed over real loopback sockets (the launcher-spawned multi-process
+// topology is exercised by cmd/dpmd and the CI smoke job; sharing the
+// process here keeps the experiment self-contained while still paying
+// real serialization and socket costs). Returns rank 0's stats.
+func runTCPRanks(ranks int, sys *md.System, newPot func() md.Potential, opt domain.Options) (*domain.Stats, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	go mpi.ServeRendezvous(ln, ranks)
+	coord := ln.Addr().String()
+
+	var root *domain.Stats
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("rank %d: %v", rank, p)
+				}
+			}()
+			w, err := mpi.DialTCP(mpi.TCPConfig{Rank: rank, Size: ranks, Coordinator: coord, Listen: "127.0.0.1:0"})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer w.Close()
+			stats, err := domain.RunOn(w.Comm(), sys, newPot(), opt)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			if rank == 0 {
+				root = stats
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return root, nil
+}
+
+// Records implements Recorder for BENCH_PR9.json.
+func (r *MPIScalingResult) Records() []Record {
+	var base1 map[string]float64 // strong-scaling reference times per transport
+	base1 = map[string]float64{}
+	for _, row := range r.Rows {
+		if row.Mode == "strong" && row.Ranks == 1 {
+			base1[row.Transport] = float64(row.LoopTime.Nanoseconds())
+		}
+	}
+	recs := make([]Record, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rec := Record{
+			Experiment:   "mpiscale",
+			Shape:        fmt.Sprintf("%s/water%d/ranks=%d/%s", row.Mode, row.Atoms, row.Ranks, row.Transport),
+			NsPerOp:      float64(row.LoopTime.Nanoseconds()) / float64(row.Steps),
+			Messages:     row.Messages,
+			LogicalBytes: row.Bytes,
+			WireBytes:    row.WireBytes,
+			Overlap:      row.Overlap,
+		}
+		if row.Mode == "strong" {
+			if ref := base1[row.Transport]; ref > 0 {
+				rec.Speedup = ref / float64(row.LoopTime.Nanoseconds())
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// String prints the rank-scaling table.
+func (r *MPIScalingResult) String() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Mode,
+			fmt.Sprint(row.Atoms),
+			fmt.Sprint(row.Ranks),
+			row.Transport,
+			fmt.Sprintf("%.1f", row.LoopTime.Seconds()*1000),
+			fmt.Sprint(row.Messages),
+			fmt.Sprint(row.WireBytes),
+			fmt.Sprintf("%.2f", row.Overlap),
+			fmt.Sprint(row.BitIdentical),
+		})
+	}
+	return "ISSUE 9: water rank scaling, in-process vs TCP sockets (bit-identity enforced)\n" +
+		table([]string{"Mode", "Atoms", "Ranks", "Transport", "Loop[ms]", "Msgs", "WireBytes", "Overlap", "BitIdent"}, rows)
+}

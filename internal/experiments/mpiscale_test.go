@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// A short mpiscale run must produce a row per (case, transport), pass its
+// own built-in bit-identity differential (MPIScaling errors out if a TCP
+// leg diverges from the in-process oracle), and emit well-formed records.
+func TestMPIScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up TCP worlds at ranks up to 8")
+	}
+	res, err := MPIScaling(Quick, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 * len(mpiscaleCases())
+	if len(res.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), wantRows)
+	}
+	for _, row := range res.Rows {
+		if !row.BitIdentical {
+			t.Errorf("%s ranks=%d %s: not bit-identical", row.Mode, row.Ranks, row.Transport)
+		}
+		if row.Ranks > 1 && row.Messages == 0 {
+			t.Errorf("%s ranks=%d %s: no messages counted", row.Mode, row.Ranks, row.Transport)
+		}
+		if row.WireBytes < row.Bytes {
+			t.Errorf("%s ranks=%d %s: wire bytes %d below payload bytes %d",
+				row.Mode, row.Ranks, row.Transport, row.WireBytes, row.Bytes)
+		}
+		if row.Overlap < 0 || row.Overlap > 1 {
+			t.Errorf("%s ranks=%d %s: overlap %v outside [0,1]", row.Mode, row.Ranks, row.Transport, row.Overlap)
+		}
+	}
+	recs := res.Records()
+	if len(recs) != wantRows {
+		t.Fatalf("got %d records, want %d", len(recs), wantRows)
+	}
+	for _, rec := range recs {
+		if rec.Experiment != "mpiscale" || rec.NsPerOp <= 0 {
+			t.Errorf("bad record %+v", rec)
+		}
+		if strings.HasPrefix(rec.Shape, "strong/") && strings.Contains(rec.Shape, "ranks=1") && rec.Speedup != 1 {
+			t.Errorf("reference leg %s has speedup %v, want 1", rec.Shape, rec.Speedup)
+		}
+	}
+	if !strings.Contains(res.String(), "Ranks") {
+		t.Error("table missing header")
+	}
+}

@@ -27,6 +27,16 @@ type Record struct {
 	// executed it ("avx512", "avx2", "neon", "generic", "naive"); empty
 	// for experiments that don't dispatch through the kernel tables.
 	Kernel string `json:"kernel,omitempty"`
+	// Messages, LogicalBytes and WireBytes are the communication volume of
+	// a distributed experiment: message count, codec-exact payload bytes,
+	// and actual framed socket bytes (LogicalBytes + header×Messages).
+	// Zero for single-process experiments.
+	Messages     int64 `json:"messages,omitempty"`
+	LogicalBytes int64 `json:"logical_bytes,omitempty"`
+	WireBytes    int64 `json:"wire_bytes,omitempty"`
+	// Overlap is the mean comm/compute overlap fraction of the per-step
+	// halo exchange across ranks (1 = fully hidden behind local work).
+	Overlap float64 `json:"overlap,omitempty"`
 }
 
 // Recorder is implemented by experiment results that can report their

@@ -8,20 +8,32 @@ import "sync"
 // a Request; Wait blocks until the reduction completes. Ranks can keep
 // integrating while the reduction progresses in the background.
 //
-// The implementation uses a shared slot per operation sequence number:
-// contributions accumulate under a mutex and the last contributor closes
-// the door. No rank blocks before Wait.
+// In-process the implementation uses a shared slot per operation sequence
+// number: contributions are staged per rank under a mutex and the last
+// contributor sums them in rank order 0..p-1 — the same order the
+// blocking Allreduce and the TCP transport reduce in, so the
+// floating-point result is deterministic and bit-identical across
+// transports (summing in arrival order used to make the low bits depend
+// on goroutine scheduling). No rank blocks before Wait.
 type Request struct {
-	slot  *iarSlot
-	world *World
+	wait func() []float64
+	done func() bool
 }
 
+// Wait blocks until the reduction completes and returns the summed values
+// (shared; callers must not mutate).
+func (r *Request) Wait() []float64 { return r.wait() }
+
+// Done reports whether the reduction has completed without blocking.
+func (r *Request) Done() bool { return r.done() }
+
 type iarSlot struct {
-	mu     sync.Mutex
-	done   chan struct{}
-	sum    []float64
-	joined int
-	size   int
+	mu      sync.Mutex
+	done    chan struct{}
+	contrib [][]float64 // staged per rank, summed rank-ordered on close
+	sum     []float64
+	joined  int
+	size    int
 }
 
 // Iallreduce starts a non-blocking element-wise sum across all ranks.
@@ -31,25 +43,34 @@ type iarSlot struct {
 func (c *Comm) Iallreduce(values []float64) *Request {
 	seq := c.iarSeq
 	c.iarSeq++
+	if c.tcp != nil {
+		return c.tcpIallreduce(seq, values)
+	}
 	w := c.world
 
 	w.iarMu.Lock()
 	slot, ok := w.iarSlots[seq]
 	if !ok {
-		slot = &iarSlot{done: make(chan struct{}), size: w.size}
+		slot = &iarSlot{done: make(chan struct{}), size: w.size, contrib: make([][]float64, w.size)}
 		w.iarSlots[seq] = slot
 	}
 	w.iarMu.Unlock()
 
 	slot.mu.Lock()
-	if slot.sum == nil {
-		slot.sum = make([]float64, len(values))
-	}
-	for i, v := range values {
-		slot.sum[i] += v
-	}
+	slot.contrib[c.rank] = append([]float64(nil), values...)
 	slot.joined++
 	last := slot.joined == slot.size
+	if last {
+		// Deterministic reduction: rank order, independent of which rank
+		// contributed last.
+		slot.sum = make([]float64, len(values))
+		for _, v := range slot.contrib {
+			for i, x := range v {
+				slot.sum[i] += x
+			}
+		}
+		slot.contrib = nil
+	}
 	slot.mu.Unlock()
 
 	if last {
@@ -61,26 +82,24 @@ func (c *Comm) Iallreduce(values []float64) *Request {
 	// Count it like a tree reduction would: one message per rank.
 	w.msgs.Add(1)
 	w.bytes.Add(int64(8 * len(values)))
-	return &Request{slot: slot, world: w}
-}
-
-// Wait blocks until the reduction completes and returns the summed values
-// (shared; callers must not mutate).
-func (r *Request) Wait() []float64 {
-	select {
-	case <-r.slot.done:
-	case <-r.world.abort:
-		panic(errAborted)
-	}
-	return r.slot.sum
-}
-
-// Done reports whether the reduction has completed without blocking.
-func (r *Request) Done() bool {
-	select {
-	case <-r.slot.done:
-		return true
-	default:
-		return false
+	c.msgs.Add(1)
+	c.bytes.Add(int64(8 * len(values)))
+	return &Request{
+		wait: func() []float64 {
+			select {
+			case <-slot.done:
+			case <-w.abort:
+				panic(errAborted)
+			}
+			return slot.sum
+		},
+		done: func() bool {
+			select {
+			case <-slot.done:
+				return true
+			default:
+				return false
+			}
+		},
 	}
 }

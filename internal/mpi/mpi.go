@@ -1,14 +1,25 @@
-// Package mpi is an in-process message-passing runtime: ranks are
-// goroutines, messages travel over buffered channels, and the collective
-// operations the paper relies on (Bcast for model staging, Barrier,
-// Allreduce and Iallreduce for thermodynamic output, Sec. 5.4 and 7.3) are
-// implemented on top. Message and byte counters are kept per world so
-// benchmarks can report communication volume the way the paper discusses
-// ghost-region traffic.
+// Package mpi is the message-passing runtime under the domain
+// decomposition. Two transports implement the same Comm surface:
 //
-// This is the substitution for IBM Spectrum MPI on Summit: the protocol
-// structure (who sends what when) is identical; only the transport is
-// in-process.
+//   - The in-process world (NewWorld): ranks are goroutines, messages
+//     travel over buffered channels. This is the default, the fast path
+//     for simulated-rank experiments, and the differential oracle the TCP
+//     transport is held bit-identical to.
+//   - The TCP world (DialTCP): ranks are processes — on one machine or
+//     many — meshed over TCP streams with length-prefixed binary framing
+//     (see codec.go) and a small rendezvous layer (coordinator or static
+//     host list). This is the substitution for IBM Spectrum MPI on
+//     Summit with real wire costs.
+//
+// The collective operations the paper relies on (Bcast for model staging,
+// Barrier, Allreduce and Iallreduce for thermodynamic output, Sec. 5.4 and
+// 7.3) are implemented on top of point-to-point sends with deterministic
+// rank-ordered reduction, so results are bit-identical across transports
+// and runs. Isend/Irecv return lightweight handles for the asynchronous
+// staged halo exchange (comm/compute overlap, Sec. 7.2). Message and byte
+// counters are kept per communicator and per world — sized exactly via
+// the wire codec — so benchmarks can report communication volume the way
+// the paper discusses ghost-region traffic.
 package mpi
 
 import (
@@ -23,7 +34,7 @@ type message struct {
 	payload any
 }
 
-// World owns the channels and counters for a set of ranks.
+// World owns the channels and counters for a set of in-process ranks.
 type World struct {
 	size  int
 	chans [][]chan message // chans[src][dst]
@@ -72,7 +83,8 @@ func (w *World) Size() int { return w.size }
 // Messages returns the number of point-to-point messages sent so far.
 func (w *World) Messages() int64 { return w.msgs.Load() }
 
-// Bytes returns the estimated payload bytes sent so far.
+// Bytes returns the exact payload bytes sent so far (wire-codec sizes,
+// excluding the per-message frame header a wire transport adds).
 func (w *World) Bytes() int64 { return w.bytes.Load() }
 
 // ResetCounters zeroes the message counters.
@@ -118,45 +130,127 @@ func (w *World) Run(f func(c *Comm)) {
 // errAborted marks panics caused by World.Abort rather than rank logic.
 var errAborted = fmt.Errorf("mpi: world aborted")
 
-// Comm is one rank's endpoint.
+// Comm is one rank's endpoint on either transport: exactly one of world
+// (in-process) or tcp (wire) is set.
 type Comm struct {
-	world  *World
-	rank   int
+	world *World
+	tcp   *TCPWorld
+	rank  int
+
 	iarSeq int
+
+	// Per-rank sent-traffic counters (the world-level counters aggregate
+	// all ranks in-process but only this process over TCP; per-rank
+	// counters let the domain layer reduce exact totals on any transport).
+	msgs  atomic.Int64
+	bytes atomic.Int64
 }
 
 // Rank returns this rank's id.
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the world size.
-func (c *Comm) Size() int { return c.world.size }
-
-// Send delivers payload to dst with a tag. It blocks only if the channel
-// buffer is full (256 outstanding messages per pair).
-func (c *Comm) Send(dst, tag int, payload any) {
-	c.world.msgs.Add(1)
-	c.world.bytes.Add(payloadBytes(payload))
-	select {
-	case c.world.chans[c.rank][dst] <- message{tag: tag, payload: payload}:
-	case <-c.world.abort:
-		panic(errAborted)
+func (c *Comm) Size() int {
+	if c.world != nil {
+		return c.world.size
 	}
+	return c.tcp.size
 }
 
-// Recv blocks until a message with the given tag arrives from src. Messages
-// from the same source are delivered in order; a tag mismatch indicates a
+// SentMessages returns the number of messages this rank has sent.
+func (c *Comm) SentMessages() int64 { return c.msgs.Load() }
+
+// SentBytes returns the exact payload bytes this rank has sent.
+func (c *Comm) SentBytes() int64 { return c.bytes.Load() }
+
+// Send delivers payload to dst with a tag. In-process it blocks only if
+// the channel buffer is full (256 outstanding messages per pair) and the
+// payload crosses by reference: the receiver must consume (copy out of)
+// it before the sender reuses the backing buffer. Over TCP the payload is
+// encoded immediately, so the buffer is reusable on return.
+func (c *Comm) Send(dst, tag int, payload any) {
+	n := payloadBytes(payload)
+	c.msgs.Add(1)
+	c.bytes.Add(n)
+	if c.world != nil {
+		c.world.msgs.Add(1)
+		c.world.bytes.Add(n)
+		select {
+		case c.world.chans[c.rank][dst] <- message{tag: tag, payload: payload}:
+		case <-c.world.abort:
+			panic(errAborted)
+		}
+		return
+	}
+	c.tcp.send(dst, tag, payload, n)
+}
+
+// Recv blocks until a message with the given tag arrives from src.
+// Messages from the same source are delivered in order; a tag mismatch at
+// the head of the queue with no other receiver posted for it indicates a
 // protocol error and panics.
 func (c *Comm) Recv(src, tag int) any {
-	var m message
-	select {
-	case m = <-c.world.chans[src][c.rank]:
-	case <-c.world.abort:
-		panic(errAborted)
+	if c.world != nil {
+		var m message
+		select {
+		case m = <-c.world.chans[src][c.rank]:
+		case <-c.world.abort:
+			panic(errAborted)
+		}
+		if m.tag != tag {
+			panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+		}
+		return m.payload
 	}
-	if m.tag != tag {
-		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	return c.tcp.recv(src, tag)
+}
+
+// SendHandle is the completion handle of a non-blocking send. On both
+// transports the payload has been handed off by the time Isend returns
+// (by reference in-process, encoded over TCP), so Wait never blocks; the
+// handle exists for MPI-shaped call sites.
+type SendHandle struct{}
+
+// Wait completes the send (a no-op; see SendHandle).
+func (SendHandle) Wait() {}
+
+// Isend starts a non-blocking send. Delivery progresses in the
+// background: over TCP a per-connection writer goroutine drains frames,
+// in-process the buffered channel is the in-flight window.
+func (c *Comm) Isend(dst, tag int, payload any) SendHandle {
+	c.Send(dst, tag, payload)
+	return SendHandle{}
+}
+
+// RecvHandle is the completion handle of a non-blocking receive posted
+// with Irecv. It is a value type: handles can live on the stack so the
+// steady-state exchange path stays allocation-free.
+type RecvHandle struct {
+	c        *Comm
+	src, tag int
+	tok      *recvToken // TCP: interest registered eagerly at post time
+}
+
+// Irecv posts a non-blocking receive for (src, tag). The transport
+// progresses the message in the background (channel buffer in-process,
+// reader goroutine + matcher over TCP); Wait blocks only for delivery.
+// Posting eagerly also tells the tag matcher which out-of-order arrivals
+// are expected, so concurrent receives on different tags never trip the
+// protocol-error check.
+func (c *Comm) Irecv(src, tag int) RecvHandle {
+	h := RecvHandle{c: c, src: src, tag: tag}
+	if c.tcp != nil {
+		h.tok = c.tcp.post(src, tag)
 	}
-	return m.payload
+	return h
+}
+
+// Wait blocks until the posted receive completes and returns the payload.
+func (h RecvHandle) Wait() any {
+	if h.tok != nil {
+		return h.c.tcp.collect(h.src, h.tok)
+	}
+	return h.c.Recv(h.src, h.tag)
 }
 
 // SendRecv exchanges payloads with a partner rank without deadlock.
@@ -165,19 +259,36 @@ func (c *Comm) SendRecv(partner, tag int, payload any) any {
 	return c.Recv(partner, tag)
 }
 
-// Barrier blocks until every rank has entered it.
+// Barrier blocks until every rank has entered it. In-process it is a
+// shared-memory generation barrier; over TCP it is a central
+// gather+release through rank 0 (counted like any other messages).
 func (c *Comm) Barrier() {
-	c.world.bar.wait(c.world.size)
+	if c.world != nil {
+		c.world.bar.wait(c.world.size)
+		return
+	}
+	c.tcpBarrier()
 }
 
-// Bcast distributes root's payload to all ranks; every rank returns it.
-// This is the model-staging pattern of Sec. 7.3 ("first reading in with a
-// single MPI rank, and then broadcasting across all MPI tasks").
+// Bcast distributes root's payload to all ranks; every rank returns its
+// own copy. This is the model-staging pattern of Sec. 7.3 ("first reading
+// in with a single MPI rank, and then broadcasting across all MPI
+// tasks"). Each recipient gets an isolated copy — wire value semantics —
+// so mutating the returned payload on one rank cannot corrupt another
+// (in-process, aliasing one backing array across ranks used to do exactly
+// that).
 func (c *Comm) Bcast(root, tag int, payload any) any {
 	if c.rank == root {
-		for dst := 0; dst < c.world.size; dst++ {
+		for dst := 0; dst < c.Size(); dst++ {
 			if dst != root {
-				c.Send(dst, tag, payload)
+				if c.world != nil {
+					// The wire transport serializes, which copies; the
+					// in-process transport passes references, so clone
+					// per recipient to keep the same value semantics.
+					c.Send(dst, tag, clonePayload(payload))
+				} else {
+					c.Send(dst, tag, payload)
+				}
 			}
 		}
 		return payload
@@ -186,47 +297,34 @@ func (c *Comm) Bcast(root, tag int, payload any) any {
 }
 
 // Allreduce sums slices element-wise across all ranks; every rank returns
-// the reduced copy. The implicit synchronization this carries is the
+// its own copy of the reduced vector. The reduction is rank-ordered
+// (root's contribution first, then ranks 1..p-1), so the floating-point
+// result is deterministic and bit-identical across transports. Each rank
+// owns the slice it gets back: recipients used to alias the root's sum
+// array in-process, so one rank mutating its "copy" silently corrupted
+// every other rank's. The implicit synchronization this carries is the
 // bottleneck Sec. 5.4 works around by reducing output frequency.
 func (c *Comm) Allreduce(tag int, values []float64) []float64 {
 	const root = 0
 	if c.rank == root {
 		sum := append([]float64(nil), values...)
-		for src := 1; src < c.world.size; src++ {
+		for src := 1; src < c.Size(); src++ {
 			v := c.Recv(src, tag).([]float64)
 			for i := range sum {
 				sum[i] += v[i]
 			}
 		}
-		for dst := 1; dst < c.world.size; dst++ {
-			c.Send(dst, tag, sum)
+		for dst := 1; dst < c.Size(); dst++ {
+			if c.world != nil {
+				c.Send(dst, tag, append([]float64(nil), sum...))
+			} else {
+				c.Send(dst, tag, sum)
+			}
 		}
 		return sum
 	}
 	c.Send(root, tag, values)
 	return c.Recv(root, tag).([]float64)
-}
-
-// payloadBytes estimates the wire size of common payload types.
-func payloadBytes(p any) int64 {
-	switch v := p.(type) {
-	case []float64:
-		return int64(8 * len(v))
-	case []float32:
-		return int64(4 * len(v))
-	case []int:
-		return int64(8 * len(v))
-	case []int64:
-		return int64(8 * len(v))
-	case []int32:
-		return int64(4 * len(v))
-	case []byte:
-		return int64(len(v))
-	case int, int64, float64:
-		return 8
-	default:
-		return 16 // opaque struct payloads: flat estimate
-	}
 }
 
 // barrier is a reusable generation-counting barrier.
