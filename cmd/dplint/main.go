@@ -1,0 +1,68 @@
+// Command dplint runs the repo's static-analysis suite (internal/lint):
+// noalloc, determinism, dispatch, and mpitag.
+//
+// Standalone, over the module from source:
+//
+//	dplint ./...
+//	dplint -tags purego -tests ./internal/core/... ./internal/md
+//
+// As a go vet tool, sharing vet's build cache and incremental fact
+// files:
+//
+//	go build -o /tmp/dplint ./cmd/dplint
+//	go vet -vettool=/tmp/dplint ./...
+//
+// Exit status is nonzero when any diagnostic is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deepmd-go/internal/lint"
+	"deepmd-go/internal/lint/driver"
+)
+
+func main() {
+	analyzers := lint.All()
+
+	// `go vet -vettool` invokes the tool with -V=full, then -flags, then
+	// one .cfg file per package; anything else is a standalone run.
+	if len(os.Args) == 2 {
+		switch arg := os.Args[1]; {
+		case arg == "-V=full", arg == "-flags", strings.HasSuffix(arg, ".cfg"):
+			driver.VetMain(analyzers)
+		}
+	}
+
+	tags := flag.String("tags", "", "comma-separated build tags (e.g. purego)")
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dplint [-tags list] [-tests] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cfg := driver.Config{Dir: ".", IncludeTests: *tests, Patterns: flag.Args()}
+	if *tags != "" {
+		cfg.BuildTags = strings.Split(*tags, ",")
+	}
+	diags, err := driver.Run(cfg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s [dplint:%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}

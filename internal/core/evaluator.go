@@ -304,8 +304,11 @@ func (ev *Evaluator[T]) Compute(pos []float64, types []int, nloc int, list *neig
 // Compute call passes the evaluator's own, a ComputeBatch sweep passes
 // each frame's, so chunks of different frames can share one worker sweep
 // without sharing state.
+//
+//dp:noalloc
 func (ev *Evaluator[T]) evalChunk(ctr *perf.Counter, opts tensor.Opts, ws *evalScratch[T], ar *tensor.Arena[T], env *descriptor.EnvOut, rT, ndT []T, ci int, atoms []int, atomEnergy []float64) float64 {
 	if ev.strat == StrategyPerAtom {
+		//dp:allow noalloc the per-atom oracle keeps 2018 granularity and allocates by design
 		return ev.evalChunkPerAtom(ctr, opts, ar, env, rT, ndT, ci, atoms, atomEnergy)
 	}
 	return ev.evalChunkBatched(ctr, opts, ws, ar, env, rT, ndT, ci, atoms, atomEnergy)

@@ -229,7 +229,10 @@ func (rs *rankState) borders() {
 }
 
 // packForward fills the stage's reusable send buffer with the current
-// (shifted) positions of the atoms it exports.
+// (shifted) positions of the atoms it exports. It runs twice per stage per
+// step on the ghost-exchange hot path and must stay off the heap.
+//
+//dp:noalloc
 func (rs *rankState) packForward(sp *stagePlan) {
 	for k, i := range sp.sendIdx {
 		x, y, z := rs.pos[3*i], rs.pos[3*i+1], rs.pos[3*i+2]
@@ -253,6 +256,10 @@ func (rs *rankState) packForward(sp *stagePlan) {
 // message's flight. Dimensions stay sequential — a later dimension
 // forwards ghosts received in earlier ones. Waits complete in fixed stage
 // order so the result is bit-identical to the synchronous exchange.
+//
+// The packing/copy side is allocation-free (packForward is //dp:noalloc
+// and the receives land in place); the transport's per-message envelopes
+// are the comm layer's business, so forward itself carries no mark.
 func (rs *rankState) forward() {
 	start := time.Now()
 	for si := 0; si+1 < len(rs.plan); si += 2 {

@@ -138,7 +138,7 @@ func Fig4(sc Scale) (*Fig4Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mixed run: %w", err)
 	}
-	for name := range rdfD {
+	for _, name := range []string{"gOO", "gOH", "gHH"} {
 		d, err := analysis.MaxDeviation(rdfD[name], rdfM[name])
 		if err != nil {
 			return nil, err

@@ -149,9 +149,11 @@ func GemmKernels(sc Scale, workers int) (*GemmResult, error) {
 // previous selection afterwards.
 func withFamily(fam cpufeat.Family, f func() time.Duration) (time.Duration, error) {
 	prev := cpufeat.Active()
+	//dp:allow dispatch the family sweep is this experiment's purpose; Active() is restored below
 	if _, err := cpufeat.SetActive(fam); err != nil {
 		return 0, fmt.Errorf("experiments: forcing %v kernels: %w", fam, err)
 	}
+	//dp:allow dispatch restores the selection captured above
 	defer cpufeat.SetActive(prev)
 	return f(), nil
 }

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FuncMark classifies a //dp: function annotation.
+type FuncMark int
+
+const (
+	// MarkNone: no annotation.
+	MarkNone FuncMark = iota
+	// MarkNoalloc: //dp:noalloc — the steady-state body must not
+	// allocate; verified statically (and cross-checked by AllocsPerRun
+	// tests). On an interface method it is the contract implementations
+	// are held to.
+	MarkNoalloc
+	// MarkWarmup: //dp:warmup — allocations are one-time buffer growth;
+	// callable from noalloc contexts, asserted dynamically.
+	MarkWarmup
+)
+
+// Annotations is the parsed //dp: comment index of one package.
+type Annotations struct {
+	funcMarks map[types.Object]FuncMark
+	// allows[analyzer] holds "file:line" strings the analyzer must stay
+	// silent on (the annotation's own line and the line after it).
+	allows map[string]map[string]bool
+	// deterministic is set by a //dp:deterministic marker anywhere in
+	// the package: an opt-in to the determinism analyzer for packages
+	// outside its built-in list.
+	deterministic bool
+	// Malformed collects //dp: comments that parse to nothing, so a
+	// typo ("//dp:noallocs") cannot silently disable a check. The
+	// driver reports them under the analyzer name "dplint".
+	Malformed []Diagnostic
+}
+
+// FuncMark returns the annotation on fn's declaration (or MarkNone).
+func (a *Annotations) FuncMark(obj types.Object) FuncMark {
+	if a == nil {
+		return MarkNone
+	}
+	return a.funcMarks[obj]
+}
+
+// Deterministic reports the //dp:deterministic package opt-in.
+func (a *Annotations) Deterministic() bool { return a != nil && a.deterministic }
+
+func (a *Annotations) allowed(analyzer string, posn token.Position) bool {
+	lines := a.allows[analyzer]
+	if lines == nil {
+		return false
+	}
+	return lines[fmt.Sprintf("%s:%d", posn.Filename, posn.Line)]
+}
+
+// dpDirective splits a "//dp:..." comment into its verb and argument
+// string, reporting ok=false for comments that are not dp directives at
+// all.
+func dpDirective(c *ast.Comment) (verb, args string, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//dp:")
+	if !found {
+		return "", "", false
+	}
+	verb, args, _ = strings.Cut(text, " ")
+	return verb, strings.TrimSpace(args), true
+}
+
+// BuildAnnotations parses every //dp: comment in the package. It needs
+// the type info to attach function marks to objects (so the noalloc
+// analyzer can consult them by callee identity, including interface
+// methods).
+func BuildAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) *Annotations {
+	a := &Annotations{
+		funcMarks: map[types.Object]FuncMark{},
+		allows:    map[string]map[string]bool{},
+	}
+
+	// Marks claimed by a function or interface-method doc comment; any
+	// other //dp:noalloc / //dp:warmup is malformed (dangling).
+	claimed := map[*ast.Comment]bool{}
+	markOf := map[string]FuncMark{"noalloc": MarkNoalloc, "warmup": MarkWarmup}
+
+	claim := func(doc *ast.CommentGroup, ident *ast.Ident) {
+		if doc == nil || ident == nil {
+			return
+		}
+		obj := info.Defs[ident]
+		if obj == nil {
+			return
+		}
+		for _, c := range doc.List {
+			if verb, args, ok := dpDirective(c); ok {
+				if mark, known := markOf[verb]; known && args == "" {
+					a.funcMarks[obj] = mark
+					claimed[c] = true
+				}
+			}
+		}
+	}
+
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				claim(d.Doc, d.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, field := range it.Methods.List {
+						if len(field.Names) == 1 {
+							claim(field.Doc, field.Names[0])
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				verb, args, ok := dpDirective(c)
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				switch verb {
+				case "noalloc", "warmup":
+					if args != "" || !claimed[c] {
+						a.Malformed = append(a.Malformed, Diagnostic{
+							Pos:     c.Pos(),
+							Message: fmt.Sprintf("//dp:%s must be the doc comment of a function or interface method, with no arguments", verb),
+						})
+					}
+				case "deterministic":
+					if args != "" {
+						a.Malformed = append(a.Malformed, Diagnostic{
+							Pos:     c.Pos(),
+							Message: "//dp:deterministic takes no arguments",
+						})
+						continue
+					}
+					a.deterministic = true
+				case "allow":
+					analyzer, reason, _ := strings.Cut(args, " ")
+					if analyzer == "" || strings.TrimSpace(reason) == "" {
+						a.Malformed = append(a.Malformed, Diagnostic{
+							Pos:     c.Pos(),
+							Message: "//dp:allow needs an analyzer name and a reason: //dp:allow <analyzer> <reason>",
+						})
+						continue
+					}
+					lines := a.allows[analyzer]
+					if lines == nil {
+						lines = map[string]bool{}
+						a.allows[analyzer] = lines
+					}
+					// The annotation covers its own line (end-of-line
+					// form) and the next line (own-line form).
+					lines[fmt.Sprintf("%s:%d", posn.Filename, posn.Line)] = true
+					lines[fmt.Sprintf("%s:%d", posn.Filename, posn.Line+1)] = true
+				default:
+					a.Malformed = append(a.Malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: fmt.Sprintf("unknown //dp: directive %q (known: noalloc, warmup, deterministic, allow)", verb),
+					})
+				}
+			}
+		}
+	}
+	return a
+}

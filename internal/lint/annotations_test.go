@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildAnn type-checks src as a single-file package and parses its
+// annotations.
+func buildAnn(t *testing.T, src string) (*Annotations, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "annot.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("annot", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return BuildAnnotations(fset, []*ast.File{f}, info), fset
+}
+
+func TestAnnotationGrammar(t *testing.T) {
+	ann, _ := buildAnn(t, `
+// Package annot.
+package annot
+
+//dp:noalloc
+func Hot() {}
+
+//dp:warmup
+func Grow() {}
+
+// I is an interface.
+type I interface {
+	// M carries a contract mark.
+	//
+	//dp:noalloc
+	M()
+}
+
+func Allowed() {
+	//dp:allow noalloc one-time setup for the test
+	_ = make([]int, 4)
+}
+`)
+	if len(ann.Malformed) != 0 {
+		t.Fatalf("well-formed file produced malformed diagnostics: %v", ann.Malformed)
+	}
+	marks := map[FuncMark]int{}
+	for _, m := range ann.funcMarks {
+		marks[m]++
+	}
+	if marks[MarkNoalloc] != 2 || marks[MarkWarmup] != 1 {
+		t.Fatalf("marks = %v, want 2 noalloc (func + interface method) and 1 warmup", marks)
+	}
+	// The allow covers its own line and the next.
+	if !ann.allowed("noalloc", token.Position{Filename: "annot.go", Line: 20}) {
+		t.Error("allow does not cover its own line")
+	}
+	if !ann.allowed("noalloc", token.Position{Filename: "annot.go", Line: 21}) {
+		t.Error("allow does not cover the following line")
+	}
+	if ann.allowed("noalloc", token.Position{Filename: "annot.go", Line: 22}) {
+		t.Error("allow leaks past the following line")
+	}
+	if ann.allowed("determinism", token.Position{Filename: "annot.go", Line: 21}) {
+		t.Error("allow leaks to another analyzer")
+	}
+	if ann.Deterministic() {
+		t.Error("package reported deterministic without the opt-in")
+	}
+}
+
+func TestAnnotationOptIn(t *testing.T) {
+	ann, _ := buildAnn(t, `
+// Package annot opts in.
+//
+//dp:deterministic
+package annot
+`)
+	if !ann.Deterministic() {
+		t.Error("//dp:deterministic opt-in not recognized")
+	}
+}
+
+func TestAnnotationMalformed(t *testing.T) {
+	ann, _ := buildAnn(t, `
+// Package annot.
+package annot
+
+//dp:noallocs
+func Typo() {}
+
+func Dangling() {
+	//dp:noalloc
+	_ = 0
+}
+
+//dp:allow noalloc
+func MissingReason() {}
+
+//dp:deterministic extra words
+func Arged() {}
+`)
+	var msgs []string
+	for _, d := range ann.Malformed {
+		msgs = append(msgs, d.Message)
+	}
+	wantSubstrings := []string{
+		`unknown //dp: directive "noallocs"`,
+		"//dp:noalloc must be the doc comment of a function or interface method",
+		"//dp:allow needs an analyzer name and a reason",
+		"//dp:deterministic takes no arguments",
+	}
+	if len(msgs) != len(wantSubstrings) {
+		t.Fatalf("got %d malformed diagnostics %v, want %d", len(msgs), msgs, len(wantSubstrings))
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(msgs[i], want) {
+			t.Errorf("malformed[%d] = %q, want substring %q", i, msgs[i], want)
+		}
+	}
+}

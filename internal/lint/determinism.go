@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer flags constructs that let scheduler or runtime
+// nondeterminism leak into physics, reports, or serialized records:
+//
+//   - ranging over a map while accumulating floats, growing an outer
+//     slice, emitting output, or returning/breaking early — the repo's
+//     bit-identical-at-any-rank-count guarantee dies the moment an
+//     unordered iteration feeds a float reduction or a record stream;
+//     iterate over sorted keys instead;
+//   - the process-seeded global math/rand source (Go randomizes it at
+//     startup) — use rand.New(rand.NewSource(seed));
+//   - time.Now-derived integers (UnixNano and friends) used as data or
+//     seeds. Plain time.Now()/time.Since() timing is fine.
+//
+// The checks apply to the packages feeding physics reductions (core, md,
+// domain, mpi, learn, compress, experiments) and to any package opted in
+// with //dp:deterministic. Test files are exempt.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag unordered map iteration, global rand, and wall-clock values in result-bearing paths",
+	Run:  runDeterminism,
+}
+
+// deterministicPkgs is the built-in scope: the packages whose outputs
+// are physics, physics-derived records, or the transport under them.
+var deterministicPkgs = map[string]bool{
+	"deepmd-go/internal/core":        true,
+	"deepmd-go/internal/md":          true,
+	"deepmd-go/internal/domain":      true,
+	"deepmd-go/internal/mpi":         true,
+	"deepmd-go/internal/learn":       true,
+	"deepmd-go/internal/compress":    true,
+	"deepmd-go/internal/experiments": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !deterministicPkgs[pass.Pkg.Path()] && !pass.Ann.Deterministic() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, s)
+			case *ast.CallExpr:
+				checkGlobalRand(pass, s)
+			case *ast.SelectorExpr:
+				checkWallClock(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isTestFile(pass *Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// checkMapRange flags a range over a map whose body makes the iteration
+// order observable.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	declaredOutside := func(e ast.Expr) bool {
+		id := baseIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+	}
+	isFloat := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+	}
+
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "map iteration order is unordered but %s; range over sorted keys instead", what)
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range s.Lhs {
+					if isFloat(lhs) && declaredOutside(lhs) {
+						report(s.Pos(), "this float accumulation depends on it")
+					}
+				}
+			case token.ASSIGN:
+				for i, rhs := range s.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(info, call.Fun, "append") && i < len(s.Lhs) && declaredOutside(s.Lhs[i]) {
+						report(s.Pos(), "this append emits elements in iteration order")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := orderedEmitter(info, s); ok {
+				report(s.Pos(), "this "+name+" call emits in iteration order")
+			}
+		case *ast.ReturnStmt:
+			report(s.Pos(), "this return makes the result depend on which key is visited first")
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK && s.Label == nil {
+				report(s.Pos(), "this break makes the result depend on which key is visited first")
+			}
+		case *ast.RangeStmt:
+			// Nested ranges are visited by the outer Inspect walk too.
+		}
+		return true
+	})
+}
+
+// orderedEmitter reports calls that write output whose order matters.
+func orderedEmitter(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+				return b.Name(), true
+			}
+		}
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + fn.Name(), true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "Encode":
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// checkGlobalRand flags top-level math/rand functions: their source is
+// seeded randomly at process start.
+func checkGlobalRand(pass *Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods on an explicit *rand.Rand are caller-seeded
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return
+	}
+	pass.Reportf(call.Pos(), "global math/rand source is seeded randomly at process start; use rand.New(rand.NewSource(seed))")
+}
+
+// wallClockMethods convert a time.Time into a value that tends to be
+// used as data (seed, record field) rather than for interval timing.
+var wallClockMethods = map[string]bool{
+	"Unix": true, "UnixNano": true, "UnixMilli": true, "UnixMicro": true,
+	"Nanosecond": true,
+}
+
+// checkWallClock flags time.Now().UnixNano() style chains.
+func checkWallClock(pass *Pass, sel *ast.SelectorExpr) {
+	if !wallClockMethods[sel.Sel.Name] {
+		return
+	}
+	call, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "Now" {
+		return
+	}
+	pass.Reportf(sel.Pos(), "time.Now().%s() feeds wall-clock bits into a result-bearing path; derive it from the run's seed or configuration", sel.Sel.Name)
+}
+
+// baseIdent unwraps selectors and index expressions to the leftmost
+// identifier (f in f.x[i].y).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

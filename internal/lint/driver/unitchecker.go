@@ -1,0 +1,247 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"deepmd-go/internal/lint"
+)
+
+// vetConfig mirrors the JSON configuration file `go vet -vettool` hands
+// the tool as its only argument (one file per package unit).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain implements the `go vet -vettool` side of dplint: the
+// -V=full/-flags handshake, per-package .cfg processing, type import
+// through the build cache's export data, and fact exchange through
+// .vetx files. It never returns.
+func VetMain(analyzers []*lint.Analyzer) {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		fmt.Printf("dplint version devel buildID=%s\n", selfID())
+		os.Exit(0)
+	case len(args) == 1 && args[0] == "-flags":
+		// No tool-specific flags: vet relays none.
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		if err := vetUnit(args[0], analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, "dplint:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "dplint (vettool mode): unexpected arguments %q\n", args)
+		os.Exit(1)
+	}
+}
+
+// selfID derives the cache-busting build ID vet keys its result cache
+// on: a hash of this executable, so rebuilding dplint invalidates stale
+// diagnostics.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// vetUnit analyzes one package unit described by a .cfg file.
+func vetUnit(cfgPath string, analyzers []*lint.Analyzer) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// Standard-library units (vet runs them VetxOnly for fact
+	// propagation) carry no module code and no dplint facts: emit an
+	// empty fact file and move on.
+	if cfg.ModulePath == "" {
+		return writeVetx(cfg.VetxOutput, map[lint.FactKey][]byte{})
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg.VetxOutput, map[lint.FactKey][]byte{})
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the go command's own build artifacts: the
+	// ImportMap translates source-level paths to canonical ones, and
+	// PackageFile locates each dependency's export data in the build
+	// cache.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, cfg.Compiler, lookup)}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput, map[lint.FactKey][]byte{})
+		}
+		return fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	facts := lint.NewMemFacts(func(path string) (map[lint.FactKey][]byte, error) {
+		vetx, ok := cfg.PackageVetx[path]
+		if !ok {
+			return nil, nil
+		}
+		return readVetx(vetx)
+	})
+	facts.Current = pkg
+
+	ann := lint.BuildAnnotations(fset, files, info)
+	var diags []Diag
+	for _, d := range ann.Malformed {
+		diags = append(diags, Diag{Analyzer: "dplint", Pos: fset.Position(d.Pos), Message: d.Message})
+	}
+	for _, a := range analyzers {
+		a := a
+		pass := &lint.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Module:    cfg.ModulePath,
+			Ann:       ann,
+			Facts:     facts,
+			Report: func(d lint.Diagnostic) {
+				diags = append(diags, Diag{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+
+	if err := writeVetx(cfg.VetxOutput, facts.PackageFacts(cfg.ImportPath)); err != nil {
+		return err
+	}
+
+	if !cfg.VetxOnly && len(diags) > 0 {
+		sort.Slice(diags, func(i, j int) bool {
+			a, b := diags[i], diags[j]
+			if a.Pos.Filename != b.Pos.Filename {
+				return a.Pos.Filename < b.Pos.Filename
+			}
+			if a.Pos.Line != b.Pos.Line {
+				return a.Pos.Line < b.Pos.Line
+			}
+			return a.Message < b.Message
+		})
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [dplint:%s]\n", relPosn(d.Pos, cfg.Dir), d.Message, d.Analyzer)
+		}
+		os.Exit(2)
+	}
+	return nil
+}
+
+// relPosn renders a position with the filename relative to dir when
+// possible, matching vet's own diagnostic style.
+func relPosn(pos token.Position, dir string) string {
+	name := pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d", name, pos.Line, pos.Column)
+}
+
+func writeVetx(path string, facts map[lint.FactKey][]byte) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(facts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readVetx(path string) (map[lint.FactKey][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil // absent facts are normal, not an error
+	}
+	defer f.Close()
+	var facts map[lint.FactKey][]byte
+	if err := gob.NewDecoder(f).Decode(&facts); err != nil {
+		return nil, nil
+	}
+	return facts, nil
+}

@@ -1,0 +1,15 @@
+// Package leaf is the bottom of the facts-propagation chain: one
+// allocating and one clean exported function.
+package leaf
+
+// Alloc allocates on every call.
+func Alloc(n int) []float64 { return make([]float64, n) }
+
+// Sum is allocation-free.
+func Sum(xs []float64) float64 {
+	t := 0.0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

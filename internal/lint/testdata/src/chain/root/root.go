@@ -1,0 +1,16 @@
+// Package root holds the //dp:noalloc roots whose verdicts depend on
+// facts exported by mid, which in turn depend on facts from leaf.
+package root
+
+import "chain/mid"
+
+//dp:noalloc
+func Hot(xs []float64) float64 {
+	return mid.Total(xs)
+}
+
+//dp:noalloc
+func Bad(n int) float64 {
+	buf := mid.Wrap(n) // want `call to mid.Wrap may allocate: call to leaf.Alloc may allocate: make allocates at `
+	return buf[0]
+}

@@ -1,0 +1,53 @@
+// Package determinism exercises the determinism analyzer via the
+// //dp:deterministic package opt-in.
+//
+//dp:deterministic
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Accumulate sums map values: unordered iteration feeding a float
+// reduction is the canonical bit-identical-results killer.
+func Accumulate(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `map iteration order is unordered but this float accumulation depends on it`
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order is unordered but this append emits elements in iteration order`
+	}
+	sort.Strings(keys)
+	ordered := 0.0
+	for _, k := range keys {
+		ordered += m[k]
+	}
+	return total + ordered
+}
+
+// Emit prints in map order; First returns whichever key the runtime
+// visits first.
+func Emit(m map[int]int) int {
+	for k, v := range m {
+		fmt.Println(k) // want `map iteration order is unordered but this fmt.Println call emits in iteration order`
+		if v > 0 {
+			return k // want `map iteration order is unordered but this return makes the result depend on which key is visited first`
+		}
+	}
+	return 0
+}
+
+// Seeds contrasts the process-seeded global source with caller-seeded
+// generators and wall-clock-derived values with configured ones.
+func Seeds(seed int64) (int, int, int64) {
+	bad := rand.Intn(10) // want `global math/rand source is seeded randomly at process start`
+	r := rand.New(rand.NewSource(seed))
+	good := r.Intn(10)
+	stamp := time.Now().UnixNano() // want `feeds wall-clock bits into a result-bearing path`
+	return bad, good, stamp
+}

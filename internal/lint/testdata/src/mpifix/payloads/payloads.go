@@ -1,0 +1,15 @@
+// Package payloads defines one registered and one unregistered payload
+// type; the registration surfaces to importers as a package fact.
+package payloads
+
+import "mpifix/internal/mpi"
+
+// Bundle has a codec registered below.
+type Bundle struct{ Xs []float64 }
+
+// Orphan has no codec.
+type Orphan struct{ N int }
+
+func init() {
+	mpi.RegisterPayload(Bundle{}, mpi.PayloadCodec{Name: "bundle"})
+}

@@ -26,6 +26,11 @@ import (
 // core.Engine (or a stateless reference potential) may be shared between
 // concurrent simulations (RunEnsemble).
 type Potential interface {
+	// Compute must be allocation-free in the steady state: after warm-up
+	// the MD loop calls it twice per velocity-Verlet step, and the
+	// 100M-atom runs stand on every step staying off the heap.
+	//
+	//dp:noalloc
 	Compute(pos []float64, types []int, nloc int, list *neighbor.List, box *neighbor.Box, out *core.Result) error
 }
 
@@ -220,12 +225,19 @@ func NewSim(sys *System, pot Potential, opt Options) (*Sim, error) {
 }
 
 // Step advances the system by one velocity-Verlet step.
+//
+// The steady state is allocation-free: list rebuilds, thermo sampling and
+// trajectory capture run on a fixed cadence and are the only paths allowed
+// to touch the heap.
+//
+//dp:noalloc
 func (s *Sim) Step() error {
 	sys := s.Sys
 	n := sys.N()
 	dt := s.Opt.Dt
 
 	if s.list == nil {
+		//dp:allow noalloc first-call warm-up builds the initial neighbor list
 		if err := s.rebuild(); err != nil {
 			return err
 		}
@@ -261,6 +273,7 @@ func (s *Sim) Step() error {
 		need = true
 	}
 	if need {
+		//dp:allow noalloc cadence rebuild (every RebuildEvery steps) re-bins the cell lists
 		if err := s.rebuild(); err != nil {
 			return err
 		}
@@ -281,8 +294,10 @@ func (s *Sim) Step() error {
 		s.Opt.Thermostat.Apply(sys, dt)
 	}
 	if s.step%s.Opt.ThermoEvery == 0 {
+		//dp:allow noalloc thermo sampling appends to the log on the ThermoEvery cadence
 		s.sample()
 	}
+	//dp:allow noalloc trajectory capture copies positions on the CaptureEvery cadence
 	s.capture()
 	return nil
 }

@@ -8,6 +8,10 @@ import "math"
 // ("the first 10,000 steps are used for annealing at 300 K") and for
 // equilibrating the water boxes before RDF sampling.
 type Thermostat interface {
+	// Apply must be allocation-free: it runs inside the //dp:noalloc
+	// Sim.Step steady state once per step while active.
+	//
+	//dp:noalloc
 	Apply(sys *System, dt float64)
 }
 

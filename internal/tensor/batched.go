@@ -184,6 +184,7 @@ func batchNaiveParallel[T Float](workers int, v batchVariant, batch, m, k, n int
 	for lo := 0; lo < batch; lo += per {
 		hi := min(batch, lo+per)
 		wg.Add(1)
+		//dp:allow noalloc the parallel path trades per-call goroutines for cores; the zero-alloc contract is the serial path
 		go func(lo, hi int) {
 			defer wg.Done()
 			batchNaiveRange(v, lo, hi, m, k, n, alpha, a, as, b, bs, beta, c, cs)
@@ -254,6 +255,7 @@ func gemmBatchBlocked[T Float](workers, batch, m, n, k int, alpha T, a []T, as, 
 	for lo := 0; lo < units; lo += per {
 		hi := min(units, lo+per)
 		wg.Add(1)
+		//dp:allow noalloc the parallel path trades per-call goroutines for cores; the zero-alloc contract is the serial path
 		go func(lo, hi int) {
 			defer wg.Done()
 			bslab, aslab := batchSlabs[T](n, k)

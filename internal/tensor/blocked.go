@@ -76,6 +76,11 @@ func packPoolFor[T Float]() *sync.Pool {
 	return &packPool64
 }
 
+// getSlab fetches a pooled pack slab of at least n elements; growth is
+// monotone power-of-two (see below), so the pooled population converges
+// and the steady-state loop stops allocating.
+//
+//dp:warmup
 func getSlab[T Float](n int) *packSlab[T] {
 	p, _ := packPoolFor[T]().Get().(*packSlab[T])
 	if p == nil {
@@ -159,6 +164,7 @@ func gemmRowBlocksParallel[T Float](workers, nIBlocks, m, jb, kb, j0, p0 int, al
 	for lo := 0; lo < m; lo += per {
 		hi := min(m, lo+per)
 		wg.Add(1)
+		//dp:allow noalloc the parallel path trades per-call goroutines for cores; the zero-alloc contract is the serial path
 		go func(lo, hi int) {
 			defer wg.Done()
 			gemmRowRange(lo, hi, m, jb, kb, j0, p0, alpha, a, ari, arp, bbuf, jTiles, betaEff, c, ldc)

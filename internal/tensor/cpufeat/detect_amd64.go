@@ -3,9 +3,13 @@
 package cpufeat
 
 // cpuid executes the CPUID instruction with the given leaf/subleaf.
+//
+//go:noescape
 func cpuid(eaxArg, ecxArg uint32) (a, b, c, d uint32)
 
 // xgetbv reads extended control register 0 (requires OSXSAVE).
+//
+//go:noescape
 func xgetbv() (lo, hi uint32)
 
 func detect() Features {

@@ -120,6 +120,7 @@ func GemmBiasTanhGradOpt[T Float](o Opts, ctr *perf.Counter, a, b Matrix[T], bia
 		for lo := 0; lo < total; lo += per {
 			hi := min(total, lo+per)
 			wg.Add(1)
+			//dp:allow noalloc the parallel path trades per-call goroutines for cores; the zero-alloc contract is the serial path
 			go func(lo, hi int) {
 				defer wg.Done()
 				tanhGradRange(y.Data, grad.Data, lo, hi, wantGrad)

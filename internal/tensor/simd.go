@@ -144,6 +144,7 @@ func simdRowsParallel[T Float](fam cpufeat.Family, caps simdKernelCaps, workers,
 	for lo := 0; lo < m; lo += per {
 		hi := min(m, lo+per)
 		wg.Add(1)
+		//dp:allow noalloc the parallel path trades per-call goroutines for cores; the zero-alloc contract is the serial path
 		go func(lo, hi int) {
 			defer wg.Done()
 			simdRowRange(fam, caps, lo, hi, k, n, alpha, a, lda, b, ldb, beta, c, ldc, bias, mode, grad, ldg)
@@ -318,6 +319,7 @@ func ntRowsParallel[T Float](fam cpufeat.Family, workers, nPairs, m, k, n int, a
 	for lo := 0; lo < m; lo += per {
 		hi := min(m, lo+per)
 		wg.Add(1)
+		//dp:allow noalloc the parallel path trades per-call goroutines for cores; the zero-alloc contract is the serial path
 		go func(lo, hi int) {
 			defer wg.Done()
 			ntRowRange(fam, lo, hi, k, n, alpha, a, lda, b, ldb, beta, c, ldc)

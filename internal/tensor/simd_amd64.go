@@ -28,8 +28,10 @@ func simdCaps(fam cpufeat.Family, es int) (simdKernelCaps, bool) {
 			return simdKernelCaps{rows: 8, cover: 8, masked: true, fusedTanh: true, hasNT: true}, true
 		}
 		return simdKernelCaps{rows: 8, cover: 16, masked: true, fusedTanh: true, hasNT: true}, true
+	default:
+		// Generic and NEON take the portable path: no amd64 SIMD caps.
+		return simdKernelCaps{}, false
 	}
-	return simdKernelCaps{}, false
 }
 
 // tsTile dispatches one tall-skinny strip call to the family kernel.

@@ -80,7 +80,10 @@ func NewArena[T Float](n int) *Arena[T] {
 
 // Take returns a zeroed slice of n elements from the slab. If the slab is
 // exhausted the arena falls back to the heap (and records the demand so
-// Peak can be used to size the slab correctly next time).
+// Peak can be used to size the slab correctly next time); growArenas-style
+// resizing makes that a warm-up-only event.
+//
+//dp:warmup
 func (a *Arena[T]) Take(n int) []T {
 	a.peak += n
 	if a.off+n > len(a.slab) {
@@ -98,7 +101,10 @@ func (a *Arena[T]) Take(n int) []T {
 // Take measures ~20% of a whole force evaluation at small network sizes,
 // so the batched evaluator uses this wherever full overwrite is
 // guaranteed. Slab reuse means the slice holds stale bytes from earlier
-// steps — callers must not read before writing.
+// steps — callers must not read before writing. The heap fallback on
+// slab exhaustion is warm-up-only, as in Take.
+//
+//dp:warmup
 func (a *Arena[T]) TakeUninit(n int) []T {
 	a.peak += n
 	if a.off+n > len(a.slab) {
@@ -152,7 +158,10 @@ func (a *Arena[T]) Bytes() int {
 // storage is freshly allocated (zeroed), reused storage keeps its prior
 // bytes. The shared grow-or-reslice helper behind every persistent
 // per-step buffer in the pipeline (evaluator results, environment
-// matrices, formatter tables, network traces).
+// matrices, formatter tables, network traces). Once a buffer has reached
+// its high-water mark the reslice path is allocation-free.
+//
+//dp:warmup
 func Resize[E any](s []E, n int) []E {
 	if cap(s) < n {
 		return make([]E, n)
